@@ -1,0 +1,33 @@
+"""Shared benchmark plumbing.
+
+Every benchmark regenerates one of the paper's tables or figures and
+prints the reproduced rows/series (through ``capsys.disabled`` so the
+output survives pytest's capture).  ``once`` wraps ``benchmark.pedantic``
+so each expensive simulation executes exactly one timed round.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the target exactly once under the benchmark timer."""
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return _run
+
+
+@pytest.fixture
+def emit(capsys):
+    """Print reproduction output past pytest's capture."""
+
+    def _emit(*lines):
+        with capsys.disabled():
+            print()
+            for line in lines:
+                print(line)
+
+    return _emit

@@ -1,0 +1,144 @@
+"""Benches for the §2 characterization: Tables 1-3, Figures 2-10."""
+
+import pytest
+
+from repro.experiments.characterization import (
+    bandwidth_vs_cores,
+    computing_headroom_us,
+    cores_to_saturate,
+    figure2_series,
+    figure6_series,
+    figure7_series,
+    figure8_series,
+    figure9_series,
+    figure10_series,
+    table2_rows,
+    table3_accel_rows,
+    table3_rows,
+    traffic_manager_experiment,
+)
+from repro.experiments.report import render_series, render_table
+from repro.nic import LIQUIDIO_CN2350, STINGRAY_PS225, table1_rows
+from repro.nic.calibration import FRAME_SIZES
+
+
+def test_table1_specs(once, emit):
+    rows = once(table1_rows)
+    emit(render_table(rows, title="Table 1: SmartNIC specifications"))
+    assert len(rows) == 5
+
+
+def test_fig02_bw_cores_liquidio(once, emit):
+    series = once(figure2_series, LIQUIDIO_CN2350)
+    lines = ["Figure 2: bandwidth (Gbps) vs NIC cores, LiquidIOII CN2350 10GbE"]
+    for size, points in series.items():
+        lines.append(render_series(f"{size}B", *zip(*points)))
+    emit(*lines)
+    assert cores_to_saturate(LIQUIDIO_CN2350, 1500) == 3
+
+
+def test_fig03_bw_cores_stingray(once, emit):
+    series = once(figure2_series, STINGRAY_PS225)
+    lines = ["Figure 3: bandwidth (Gbps) vs NIC cores, Stingray PS225 25GbE"]
+    for size, points in series.items():
+        lines.append(render_series(f"{size}B", *zip(*points)))
+    emit(*lines)
+    assert cores_to_saturate(STINGRAY_PS225, 1024) == 1
+
+
+def test_fig04_headroom(once, emit):
+    def run():
+        return {
+            (spec.model, size): computing_headroom_us(spec, size)
+            for spec in (LIQUIDIO_CN2350, STINGRAY_PS225)
+            for size in (256, 1024)
+        }
+    headrooms = once(run)
+    lines = ["Figure 4: computing headroom (max tolerated per-packet latency, µs)"]
+    for (model, size), headroom in headrooms.items():
+        lines.append(f"  {model} {size}B: {headroom:.2f}µs")
+    emit(*lines)
+    # paper: 2.5/9.8µs (CN2350) and 0.7/2.6µs (Stingray)
+    assert headrooms[(LIQUIDIO_CN2350.model, 256)] == pytest.approx(2.5, abs=0.15)
+    assert headrooms[(STINGRAY_PS225.model, 1024)] == pytest.approx(2.6, abs=0.15)
+
+
+def test_fig05_traffic_manager(once, emit):
+    def run():
+        return [traffic_manager_experiment(size, cores, duration_us=20_000)
+                for size in (64, 512, 1024, 1500)
+                for cores in (6, 12)]
+    points = once(run)
+    lines = ["Figure 5: avg/p99 latency at max throughput, 6 vs 12 cores (CN2350)"]
+    for p in points:
+        lines.append(f"  {p.frame_bytes}B {p.cores} cores: "
+                     f"avg={p.avg_us:.1f}µs p99={p.p99_us:.1f}µs")
+    emit(*lines)
+    by_key = {(p.frame_bytes, p.cores): p for p in points}
+    # doubling cores must not blow up latency (hardware shared queue)
+    penalties = [by_key[(s, 12)].avg_us / by_key[(s, 6)].avg_us
+                 for s in (64, 512, 1024, 1500)]
+    assert max(penalties) < 1.4
+
+
+def test_fig06_messaging(once, emit):
+    series = once(figure6_series)
+    lines = ["Figure 6: send/recv latency (µs): NIC-assisted vs host DPDK/RDMA"]
+    for name, points in series.items():
+        lines.append(render_series(name, *zip(*points)))
+    emit(*lines)
+    assert series["SmartNIC-send"][0][1] < series["DPDK-send"][0][1]
+
+
+def test_fig07_dma_latency(once, emit):
+    series = once(figure7_series)
+    lines = ["Figure 7: per-core DMA read/write latency (µs)"]
+    for name, points in series.items():
+        lines.append(render_series(name, *zip(*points)))
+    emit(*lines)
+    blocking = dict(series["DMA blocking write"])
+    assert blocking[2048] > blocking[4]
+
+
+def test_fig08_dma_throughput(once, emit):
+    series = once(figure8_series)
+    lines = ["Figure 8: per-core DMA throughput (Mops)"]
+    for name, points in series.items():
+        lines.append(render_series(name, *zip(*points)))
+    emit(*lines)
+    nb = dict(series["DMA non-blocking write"])
+    assert nb[4] == pytest.approx(11.0, rel=0.01)
+
+
+def test_fig09_rdma_latency(once, emit):
+    series = once(figure9_series)
+    lines = ["Figure 9: RDMA one-sided read/write latency, BlueField (µs)"]
+    for name, points in series.items():
+        lines.append(render_series(name, *zip(*points)))
+    emit(*lines)
+    read = dict(series["RDMA one-sided read"])
+    assert read[2048] > read[4]
+
+
+def test_fig10_rdma_throughput(once, emit):
+    series = once(figure10_series)
+    lines = ["Figure 10: RDMA one-sided throughput (Mops)"]
+    for name, points in series.items():
+        lines.append(render_series(name, *zip(*points)))
+    emit(*lines)
+    write = dict(series["RDMA one-sided write"])
+    assert write[64] < 2.0   # paper's figure tops out below 2 Mops
+
+
+def test_table2_memory(once, emit):
+    rows = once(table2_rows)
+    emit(render_table(rows, title="Table 2: memory hierarchy access latency (ns)"))
+    assert rows[1][1] == "8.3"
+
+
+def test_table3_microbench(once, emit):
+    rows = once(table3_rows)
+    emit(render_table(rows, title="Table 3 (left): offloaded workloads on CN2350"))
+    emit(render_table(table3_accel_rows(),
+                      title="Table 3 (right): accelerators"))
+    assert len(rows) == 12

@@ -1,0 +1,55 @@
+"""Figure 13: host CPU cores used by DPDK vs iPipe per role and size.
+
+The paper drives each application to max throughput and reports the host
+CPU usage of every role.  Here both systems run closed-loop at their
+natural maximum; see EXPERIMENTS.md for the methodology note (our DPDK
+baseline is host-bound rather than line-rate bound, so absolute savings
+exceed the paper's while the orderings match).
+"""
+
+import pytest
+
+from repro.experiments.applications import ROLES, run_app
+from repro.experiments.report import render_table
+from repro.nic import LIQUIDIO_CN2350, LIQUIDIO_CN2360
+
+SIZES = (64, 256, 512, 1024)
+
+
+def _sweep(nic_spec, duration_us=10_000.0):
+    cache = {}
+    for system in ("dpdk", "ipipe"):
+        for app in ("rta", "dt", "rkv"):
+            for size in SIZES:
+                clients = 192 if size == 64 else 96
+                cache[(system, app, size)] = run_app(
+                    system, app, nic_spec=nic_spec, packet_size=size,
+                    clients=clients, duration_us=duration_us,
+                    prefill_keys=4000)
+    return cache
+
+
+def _report(cache, nic_spec, emit, title):
+    rows = [("role", "system") + tuple(f"{s}B" for s in SIZES)]
+    for role, (app, idx) in ROLES.items():
+        for system in ("dpdk", "ipipe"):
+            cells = tuple(
+                f"{cache[(system, app, size)].host_cores[f's{idx}']:.2f}"
+                for size in SIZES)
+            rows.append((role, system) + cells)
+    emit(render_table(rows, title=title))
+
+
+@pytest.mark.parametrize("nic_spec,label", [
+    (LIQUIDIO_CN2350, "10GbE w/ LiquidIOII CN2350 (Figure 13a)"),
+    (LIQUIDIO_CN2360, "25GbE w/ LiquidIOII CN2360 (Figure 13b)"),
+])
+def test_fig13_host_cores(once, emit, nic_spec, label):
+    cache = once(_sweep, nic_spec)
+    _report(cache, nic_spec, emit, f"Figure 13: host cores used, {label}")
+    # iPipe saves host cores at 256B-1KB on every role
+    for role, (app, idx) in ROLES.items():
+        for size in (256, 512, 1024):
+            dpdk = cache[("dpdk", app, size)].host_cores[f"s{idx}"]
+            ipipe = cache[("ipipe", app, size)].host_cores[f"s{idx}"]
+            assert ipipe <= dpdk + 0.25, (role, size, dpdk, ipipe)

@@ -1,0 +1,50 @@
+"""Figures 14/15: latency vs per-core throughput, DPDK vs iPipe, 512B.
+
+Per-core throughput divides completed operations by the measured role's
+host-core usage (RTA worker / DT coordinator / RKV leader), exactly the
+paper's accounting.  iPipe's curves sit below-and-right of DPDK's: lower
+latency at a higher per-core rate.
+"""
+
+import pytest
+
+from repro.experiments.applications import latency_throughput_curve
+from repro.experiments.report import render_series
+from repro.nic import LIQUIDIO_CN2350, LIQUIDIO_CN2360
+
+CLIENTS = (2, 8, 32)
+
+
+def _curves(nic_spec):
+    out = {}
+    for system in ("dpdk", "ipipe"):
+        for app in ("rta", "dt", "rkv"):
+            out[(system, app)] = latency_throughput_curve(
+                system, app, nic_spec=nic_spec, packet_size=512,
+                client_counts=CLIENTS, duration_us=12_000.0,
+                prefill_keys=4000)
+    return out
+
+
+@pytest.mark.parametrize("nic_spec,label", [
+    (LIQUIDIO_CN2350, "Figure 14 (10GbE, 512B)"),
+    (LIQUIDIO_CN2360, "Figure 15 (25GbE, 512B)"),
+])
+def test_latency_vs_per_core_throughput(once, emit, nic_spec, label):
+    curves = once(_curves, nic_spec)
+    lines = [f"{label}: mean latency (µs) at per-core throughput (Mop/s)"]
+    for (system, app), points in curves.items():
+        lines.append(render_series(
+            f"  {app}-{system}",
+            [f"{t:.2f}" for t, _ in points],
+            [lat for _, lat in points],
+            xfmt="{}", yfmt="{:.1f}"))
+    emit(*lines)
+    # iPipe's best per-core throughput beats DPDK's for every app
+    for app in ("rta", "dt", "rkv"):
+        best_dpdk = max(t for t, _ in curves[("dpdk", app)])
+        best_ipipe = max(t for t, _ in curves[("ipipe", app)])
+        assert best_ipipe > best_dpdk, app
+    # and latency at low load is no worse with iPipe
+    for app in ("dt", "rkv"):
+        assert curves[("ipipe", app)][0][1] < curves[("dpdk", app)][0][1] * 1.1, app

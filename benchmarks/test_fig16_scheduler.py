@@ -1,0 +1,35 @@
+"""Figure 16: P99 tail latency under FCFS vs DRR vs the iPipe hybrid."""
+
+import pytest
+
+from repro.experiments.report import render_series
+from repro.experiments.scheduler_study import sweep
+from repro.nic import LIQUIDIO_CN2350, STINGRAY_PS225
+
+LOADS = (0.3, 0.5, 0.7, 0.9)
+
+
+@pytest.mark.parametrize("spec,panel", [
+    (LIQUIDIO_CN2350, "a/b: 10GbE LiquidIOII CN2350"),
+    (STINGRAY_PS225, "c/d: 25GbE Stingray PS225"),
+])
+@pytest.mark.parametrize("dispersion", ["low", "high"])
+def test_fig16_scheduler(once, emit, spec, panel, dispersion):
+    results = once(sweep, spec, dispersion, LOADS, 100_000.0)
+    lines = [f"Figure 16 ({panel}, {dispersion} dispersion): p99 (µs) vs load"]
+    for policy, series in results.items():
+        lines.append(render_series(
+            f"  {policy}", [l for l, _, _ in series], [p for _, _, p in series],
+            xfmt="{:.1f}"))
+    emit(*lines)
+
+    p99 = {policy: {load: p for load, _, p in series}
+           for policy, series in results.items()}
+    if dispersion == "low":
+        # hybrid tracks FCFS and beats DRR at high load
+        assert p99["ipipe"][0.5] == pytest.approx(p99["fcfs"][0.5], rel=0.15)
+        assert p99["ipipe"][0.9] < p99["drr"][0.9] * 1.05
+    else:
+        # hybrid beats FCFS clearly and at least matches DRR
+        assert p99["ipipe"][0.9] < 0.8 * p99["fcfs"][0.9]
+        assert p99["ipipe"][0.9] < p99["drr"][0.9] * 1.1

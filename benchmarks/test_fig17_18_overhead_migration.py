@@ -1,0 +1,47 @@
+"""Figure 17 (framework overhead) and Figure 18 (migration breakdown)."""
+
+import pytest
+
+from repro.experiments.applications import overhead_comparison
+from repro.experiments.migration_study import (
+    breakdown_rows,
+    phase_share,
+    run_migration_breakdown,
+)
+from repro.experiments.report import render_table
+
+
+def test_fig17_overhead(once, emit):
+    rows = once(overhead_comparison, (0.15, 0.25, 0.35), 512, 12_000.0, 16)
+    table = [("load", "w/o iPipe (µs/op)", "w/ iPipe (µs/op)", "overhead")]
+    overheads = []
+    for load, dpdk_us, ipipe_us in rows:
+        overheads.append(ipipe_us / dpdk_us - 1.0)
+        table.append((f"{load:.2f}", f"{dpdk_us:.2f}", f"{ipipe_us:.2f}",
+                      f"{(ipipe_us / max(dpdk_us, 1e-6) - 1) * 100:+.1f}%"))
+    emit(render_table(table, title="Figure 17: host-only RKV leader CPU per "
+                                   "op, with vs without the iPipe runtime "
+                                   "(sub-saturation loads)"))
+    # paper: iPipe consumes ~11-12% more host CPU at equal throughput
+    mean_overhead = sum(overheads) / len(overheads)
+    assert 0.02 < mean_overhead < 0.30
+
+
+def test_fig18_migration_breakdown(once, emit):
+    reports = once(run_migration_breakdown)
+    table = [("actor", "phase1(µs)", "phase2(µs)", "phase3(µs)",
+              "phase4(µs)", "total(ms)")]
+    for row in breakdown_rows(reports):
+        table.append((row.actor, f"{row.phase1_us:.0f}", f"{row.phase2_us:.0f}",
+                      f"{row.phase3_us:.0f}", f"{row.phase4_us:.0f}",
+                      f"{row.total_ms:.2f}"))
+    emit(render_table(table, title="Figure 18: migration elapsed time "
+                                   "breakdown (8 actors, 90% load)"))
+    assert len(reports) == 8
+    # phase 3 dominates (paper: ~68% on average), phase 4 second (~27%)
+    assert phase_share(reports, 3) > 0.5
+    assert phase_share(reports, 3) > phase_share(reports, 4) > \
+        max(phase_share(reports, 1), phase_share(reports, 2))
+    # the 32MB LSM memtable actor takes tens of ms, dominated by the move
+    lsm = next(r for r in reports if r.actor == "lsmmem")
+    assert 10_000 < lsm.phase_us[3] < 60_000

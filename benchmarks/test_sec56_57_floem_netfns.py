@@ -1,0 +1,56 @@
+"""§5.6 (Floem comparison) and §5.7 (network functions on iPipe)."""
+
+import pytest
+
+from repro.experiments.netfns import (
+    firewall_latency_vs_load,
+    floem_vs_ipipe,
+    ipsec_goodput_gbps,
+)
+from repro.experiments.report import render_table
+from repro.nic import LIQUIDIO_CN2360
+
+
+def test_sec56_floem_comparison(once, emit):
+    def run():
+        return {
+            1024: floem_vs_ipipe(packet_size=1024, clients=96,
+                                 duration_us=12_000.0),
+            64: floem_vs_ipipe(packet_size=64, clients=96,
+                               duration_us=12_000.0),
+        }
+    results = once(run)
+    table = [("packet", "system", "Gbps", "busy cores", "Gbps/core")]
+    for size, (floem, ipipe) in results.items():
+        for r in (floem, ipipe):
+            table.append((f"{size}B", r.system, f"{r.throughput_gbps:.2f}",
+                          f"{r.busy_cores:.1f}", f"{r.gbps_per_core:.3f}"))
+    emit(render_table(table, title="§5.6: Floem-RTA vs iPipe-RTA efficiency"))
+    # iPipe wins per-core efficiency in both regimes
+    for size, (floem, ipipe) in results.items():
+        assert ipipe.gbps_per_core > floem.gbps_per_core, size
+
+
+def test_sec57_firewall(once, emit):
+    points = once(firewall_latency_vs_load, 8192, 1024,
+                  (0.2, 0.5, 0.8, 0.95))
+    table = [("load", "mean processing latency (µs)")]
+    for load, latency in points:
+        table.append((f"{load:.2f}", f"{latency:.2f}"))
+    emit(render_table(table, title="§5.7: firewall, 8K wildcard rules, 1KB"))
+    # paper: 3.65µs ... 19.41µs as load increases
+    assert 2.0 < points[0][1] < 8.0
+    assert points[-1][1] > points[0][1]
+    assert points[-1][1] < 40.0
+
+
+def test_sec57_ipsec(once, emit):
+    def run():
+        return (ipsec_goodput_gbps(duration_us=12_000.0),
+                ipsec_goodput_gbps(spec=LIQUIDIO_CN2360,
+                                   duration_us=12_000.0))
+    g10, g25 = once(run)
+    emit(f"§5.7: IPsec gateway goodput, 1KB packets: "
+         f"10GbE={g10:.1f} Gbps (paper 8.6), 25GbE={g25:.1f} Gbps (paper 22.9)")
+    assert g10 == pytest.approx(8.6, abs=1.6)
+    assert g25 == pytest.approx(22.9, abs=3.5)

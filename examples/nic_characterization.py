@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Reproduce the paper's §2 SmartNIC characterization study.
+
+Prints Table 1 (specs), Figure 2/3 core counts, Figure 4 headroom,
+Figure 6 messaging, Figures 7-10 DMA/RDMA curves, and Table 2 memory
+latencies from the calibrated hardware models.
+
+Run:  python examples/nic_characterization.py
+"""
+
+from repro.experiments.characterization import (
+    computing_headroom_us,
+    cores_to_saturate,
+    figure6_series,
+    figure7_series,
+    figure10_series,
+    table2_rows,
+    table3_rows,
+)
+from repro.experiments.report import render_series, render_table
+from repro.nic import LIQUIDIO_CN2350, STINGRAY_PS225, table1_rows
+
+
+def main() -> None:
+    print(render_table(table1_rows(), title="Table 1: SmartNIC catalog"))
+
+    print("\nFigures 2/3: NIC cores needed for line rate (0 = unreachable)")
+    for spec in (LIQUIDIO_CN2350, STINGRAY_PS225):
+        cores = {size: cores_to_saturate(spec, size)
+                 for size in (64, 128, 256, 512, 1024, 1500)}
+        print(f"  {spec.model}: {cores}")
+
+    print("\nFigure 4: computing headroom at line rate (µs/packet)")
+    for spec in (LIQUIDIO_CN2350, STINGRAY_PS225):
+        print(f"  {spec.model}: 256B={computing_headroom_us(spec, 256):.2f}  "
+              f"1024B={computing_headroom_us(spec, 1024):.2f}")
+
+    print("\nFigure 6: messaging latency (µs)")
+    for name, points in figure6_series().items():
+        print(" ", render_series(name, *zip(*points)))
+
+    print("\nFigure 7: DMA latency (µs)")
+    for name, points in figure7_series().items():
+        print(" ", render_series(name, *zip(*points)))
+
+    print("\nFigure 10: RDMA throughput (Mops)")
+    for name, points in figure10_series().items():
+        print(" ", render_series(name, *zip(*points)))
+
+    print()
+    print(render_table(table2_rows(), title="Table 2: memory latency (ns)"))
+    print()
+    print(render_table(table3_rows(),
+                       title="Table 3: offloaded workloads (+ host speedup)"))
+
+
+if __name__ == "__main__":
+    main()

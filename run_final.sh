@@ -1,0 +1,6 @@
+#!/bin/sh
+# Final recorded runs: full test suite + full benchmark suite.
+cd /root/repo
+python -m pytest tests/ 2>&1 | tee /root/repo/test_output.txt
+python -m pytest benchmarks/ --benchmark-only 2>&1 | tee /root/repo/bench_output.txt
+echo "FINAL RUNS COMPLETE"

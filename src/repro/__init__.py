@@ -1,0 +1,19 @@
+"""iPipe reproduction: actor-based SmartNIC offload framework (SIGCOMM'19).
+
+Subpackages
+-----------
+``repro.sim``      discrete-event simulation kernel (µs virtual time)
+``repro.net``      packets, links, ToR switch, traffic generators
+``repro.nic``      SmartNIC hardware models calibrated to the paper's §2
+``repro.host``     host server models and kernel-bypass stack costs
+``repro.core``     the iPipe framework: actors, hybrid scheduler, DMO,
+                   migration, host<->NIC channels, isolation
+``repro.apps``     the paper's applications: replicated KV store (Multi-
+                   Paxos + LSM), distributed transactions (OCC+2PC),
+                   real-time analytics, and network functions
+``repro.baselines`` DPDK host-only and Floem-style comparison systems
+``repro.workloads`` request/trace generators shared by the benchmarks
+``repro.experiments`` one harness per paper table/figure
+"""
+
+__version__ = "1.0.0"

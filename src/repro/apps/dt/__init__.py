@@ -1,0 +1,19 @@
+"""Distributed transactions: OCC + two-phase commit over iPipe actors."""
+
+from .hashtable import Entry, ExtensibleHashTable
+from .log import CoordinatorLog, LogSegment
+from .occ import LogRecord, TxnCoordinator, TxnMessage, TxnParticipant
+from .actors import DtCoordinatorNode, DtParticipantNode
+
+__all__ = [
+    "Entry",
+    "ExtensibleHashTable",
+    "CoordinatorLog",
+    "LogSegment",
+    "LogRecord",
+    "TxnCoordinator",
+    "TxnMessage",
+    "TxnParticipant",
+    "DtCoordinatorNode",
+    "DtParticipantNode",
+]

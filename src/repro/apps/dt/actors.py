@@ -1,0 +1,132 @@
+"""Distributed transactions as iPipe actors (§4).
+
+* **coordinator** (NIC) — receives client transactions and runs the OCC +
+  2PC protocol against the participant actors on other servers; appends
+  commit records to its coordinator-log DMO and checkpoints sealed
+  segments to the host logging actor.
+* **participant** (NIC) — one partition of the extensible-hashtable data
+  store, executing read/lock, validate, commit, and abort.
+* **logger** (host, pinned) — persists sealed log segments (it must reach
+  storage, §4).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ...core import Actor, Location, Message
+from ...nic.cores import WorkloadProfile
+from .hashtable import ExtensibleHashTable
+from .log import CoordinatorLog, LogSegment
+from .occ import TxnCoordinator, TxnMessage, TxnParticipant
+
+COORD_PROFILE = WorkloadProfile("dt_coordinator", 2.4, 1.3, 0.8)
+PART_PROFILE = WorkloadProfile("dt_participant", 2.0, 1.2, 0.9)
+LOGGER_PROFILE = WorkloadProfile("dt_logger", 30.0, 0.7, 5.0)
+
+
+class DtCoordinatorNode:
+    """Coordinator-side wiring for one server."""
+
+    def __init__(self, runtime, participant_nodes: List[str],
+                 log_segment_bytes: int = 64 * 1024):
+        self.runtime = runtime
+        self.node = runtime.node_name
+        self.participant_nodes = list(participant_nodes)
+        self._pending: Dict[int, Message] = {}
+        self._ctx = None
+        self.replies_sent = 0
+
+        self.log = CoordinatorLog(segment_limit_bytes=log_segment_bytes,
+                                  on_checkpoint=self._checkpoint)
+        self.coordinator = TxnCoordinator(
+            name=self.node, participants=participant_nodes,
+            send=self._send_to_participant,
+            log_append=self.log.append)
+        self.coordinator_actor = Actor(
+            "coordinator", self._coordinator_handler,
+            profile=COORD_PROFILE, concurrent=True)
+        self.logger_actor = Actor(
+            "txn_logger", self._logger_handler, profile=LOGGER_PROFILE,
+            location=Location.HOST, pinned=True)
+        runtime.register_actor(self.coordinator_actor,
+                               steering_keys=["coordinator", "dt-txn"])
+        runtime.register_actor(self.logger_actor, steering_keys=["txn_logger"])
+
+    def _send_to_participant(self, node: str, tmsg: TxnMessage) -> None:
+        if self._ctx is None:
+            return
+        size = 96 + sum(len(v) for v in tmsg.writes.values())
+        self._ctx.send_remote(node, "participant", kind="txn",
+                              payload=tmsg, size=size)
+
+    def _checkpoint(self, segment: LogSegment) -> None:
+        if self._ctx is None:
+            return
+        self._ctx.send("txn_logger", kind="checkpoint",
+                       payload={"records": len(segment.records)},
+                       size=segment.byte_size)
+
+    def _coordinator_handler(self, actor: Actor, msg: Message, ctx):
+        self._ctx = ctx
+        yield ctx.compute(profile=COORD_PROFILE)
+        if msg.kind == "txn":
+            self.coordinator.handle(msg.payload)
+        else:  # client transaction: {"reads": [...], "writes": {...}}
+            reads = msg.payload.get("reads", [])
+            writes = msg.payload.get("writes", {})
+            client_msg = msg
+
+            def on_done(committed: bool, values, m=client_msg):
+                if m.packet is not None and self._ctx is not None:
+                    self._ctx.reply(m, payload={
+                        "status": "committed" if committed else "aborted",
+                        "values": values,
+                    }, size=96)
+                    self.replies_sent += 1
+
+            self.coordinator.begin(reads, writes, on_done)
+
+    def _logger_handler(self, actor: Actor, msg: Message, ctx):
+        yield ctx.compute(profile=LOGGER_PROFILE)
+        yield from ctx.storage_write(msg.size)
+
+
+class DtParticipantNode:
+    """Participant-side wiring for one server."""
+
+    def __init__(self, runtime,
+                 store: Optional[ExtensibleHashTable] = None):
+        self.runtime = runtime
+        self.node = runtime.node_name
+        self._ctx = None
+        self.participant = TxnParticipant(
+            name=self.node, send=self._send_to_coordinator, store=store)
+        self.participant_actor = Actor(
+            "participant", self._participant_handler,
+            profile=PART_PROFILE, concurrent=True)
+        runtime.register_actor(self.participant_actor,
+                               steering_keys=["participant"])
+
+    def _send_to_coordinator(self, node: str, tmsg: TxnMessage) -> None:
+        if self._ctx is None:
+            return
+        size = 96 + sum(len(v or b"") + 8 for v, _ in tmsg.values.values())
+        self._ctx.send_remote(node, "coordinator", kind="txn",
+                              payload=tmsg, size=size)
+
+    def _participant_handler(self, actor: Actor, msg: Message, ctx):
+        self._ctx = ctx
+        yield ctx.compute(profile=PART_PROFILE)
+        tmsg: TxnMessage = msg.payload
+        # replies go back to the coordinator that sent this message
+        self.participant.send = lambda _node, reply: self._reply(
+            msg.source or tmsg.sender, reply)
+        self.participant.handle(tmsg)
+
+    def _reply(self, node: str, tmsg: TxnMessage) -> None:
+        if self._ctx is None:
+            return
+        size = 96 + sum(len(v or b"") + 8 for v, _ in tmsg.values.values())
+        self._ctx.send_remote(node, "coordinator", kind="txn",
+                              payload=tmsg, size=size)

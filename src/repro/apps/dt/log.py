@@ -1,0 +1,61 @@
+"""Coordinator log (§4, per Stamos & Cristian [60]).
+
+The commit-point record store.  The active segment is a DMO on the NIC;
+when it reaches its storage limit the coordinator actor migrates the log
+object to the host and messages the logging actor to checkpoint it to
+persistent storage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from .occ import LogRecord
+
+
+@dataclass
+class LogSegment:
+    records: List[LogRecord] = field(default_factory=list)
+    byte_size: int = 0
+
+    def append(self, record: LogRecord) -> None:
+        self.records.append(record)
+        self.byte_size += record.byte_size
+
+
+class CoordinatorLog:
+    """Segmented append-only log with a checkpoint callback."""
+
+    def __init__(self, segment_limit_bytes: int = 64 * 1024,
+                 on_checkpoint=None):
+        if segment_limit_bytes <= 0:
+            raise ValueError("segment limit must be positive")
+        self.segment_limit = segment_limit_bytes
+        self.on_checkpoint = on_checkpoint
+        self.active = LogSegment()
+        self.checkpointed_segments = 0
+        self.records_total = 0
+
+    def append(self, record: LogRecord) -> None:
+        self.active.append(record)
+        self.records_total += 1
+        if self.active.byte_size >= self.segment_limit:
+            self.checkpoint()
+
+    def checkpoint(self) -> Optional[LogSegment]:
+        """Seal the active segment and hand it to the checkpoint hook."""
+        if not self.active.records:
+            return None
+        sealed, self.active = self.active, LogSegment()
+        self.checkpointed_segments += 1
+        if self.on_checkpoint is not None:
+            self.on_checkpoint(sealed)
+        return sealed
+
+    def find(self, txn_id: int) -> Optional[LogRecord]:
+        """Recovery lookup in the active segment."""
+        for record in reversed(self.active.records):
+            if record.txn_id == txn_id:
+                return record
+        return None

@@ -1,0 +1,53 @@
+"""Table 3 microbenchmark suite: the 11 representative offloaded workloads.
+
+Each workload is a real data-structure implementation; its timing on a
+given device comes from the :mod:`repro.nic.cores` cost model using the
+paper's measured (exec latency, IPC, MPKI) triples.
+"""
+
+from .sketch import CountMinSketch
+from .kvcache import KvCache
+from .topranker import TopRanker
+from .ratelimiter import LeakyBucket, RateLimiter
+from .tcam import SoftwareTcam, TcamRule, field_mask, pack_key
+from .lpm import LpmRouter, ip
+from .maglev import MaglevTable
+from .pfabric import PFabricScheduler, QueuedPacket
+from .nbayes import FEATURE_CARDINALITIES, NaiveBayesClassifier, packet_features
+from .chainrep import ReplicationChain
+
+#: Workload name (Table 3) → implementing class.
+WORKLOAD_IMPLEMENTATIONS = {
+    "flow_monitor": CountMinSketch,
+    "kv_cache": KvCache,
+    "top_ranker": TopRanker,
+    "rate_limiter": RateLimiter,
+    "firewall": SoftwareTcam,
+    "router": LpmRouter,
+    "load_balancer": MaglevTable,
+    "packet_scheduler": PFabricScheduler,
+    "flow_classifier": NaiveBayesClassifier,
+    "packet_replication": ReplicationChain,
+}
+
+__all__ = [
+    "CountMinSketch",
+    "KvCache",
+    "TopRanker",
+    "LeakyBucket",
+    "RateLimiter",
+    "SoftwareTcam",
+    "TcamRule",
+    "field_mask",
+    "pack_key",
+    "LpmRouter",
+    "ip",
+    "MaglevTable",
+    "PFabricScheduler",
+    "QueuedPacket",
+    "FEATURE_CARDINALITIES",
+    "NaiveBayesClassifier",
+    "packet_features",
+    "ReplicationChain",
+    "WORKLOAD_IMPLEMENTATIONS",
+]

@@ -1,0 +1,73 @@
+"""Chain replication (Table 3: "Packet replication", linked list, per
+Hyperloop [31]).
+
+A write enters at the chain head, propagates node-to-node down a linked
+list of replicas, and is acknowledged from the tail.  Reads are served at
+the tail (the linearizability point of chain replication).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+
+class _ChainNode:
+    __slots__ = ("name", "store", "next")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.store: Dict[str, str] = {}
+        self.next: Optional["_ChainNode"] = None
+
+
+class ReplicationChain:
+    """An in-memory model of a chain-replicated store."""
+
+    def __init__(self, replicas: List[str]):
+        if not replicas:
+            raise ValueError("chain needs at least one replica")
+        self._nodes = [_ChainNode(name) for name in replicas]
+        for a, b in zip(self._nodes, self._nodes[1:]):
+            a.next = b
+        self.head = self._nodes[0]
+        self.tail = self._nodes[-1]
+        self.hops = 0
+        self.writes = 0
+        self.reads = 0
+
+    def write(self, key: str, value: str) -> int:
+        """Propagate a write down the chain; returns the hop count."""
+        node: Optional[_ChainNode] = self.head
+        hops = 0
+        while node is not None:
+            node.store[key] = value
+            hops += 1
+            node = node.next
+        self.hops += hops
+        self.writes += 1
+        return hops
+
+    def read(self, key: str) -> Optional[str]:
+        """Read from the tail (committed data only)."""
+        self.reads += 1
+        return self.tail.store.get(key)
+
+    def fail_node(self, name: str) -> None:
+        """Remove a replica and splice the chain around it."""
+        if len(self._nodes) == 1:
+            raise RuntimeError("cannot fail the last replica")
+        idx = next(i for i, n in enumerate(self._nodes) if n.name == name)
+        failed = self._nodes.pop(idx)
+        if idx > 0:
+            self._nodes[idx - 1].next = failed.next
+        self.head = self._nodes[0]
+        self.tail = self._nodes[-1]
+        self.tail.next = None
+
+    def consistent(self, key: str) -> bool:
+        """All live replicas agree on the key (true after quiescence)."""
+        values = {n.store.get(key) for n in self._nodes}
+        return len(values) == 1
+
+    def __len__(self) -> int:
+        return len(self._nodes)

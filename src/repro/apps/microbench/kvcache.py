@@ -1,0 +1,66 @@
+"""Hash-table key-value cache (Table 3: "KV cache", per KV-Direct [37]).
+
+Supports read/write/delete with LRU eviction under a byte budget — the
+NIC-resident cache tier of an in-memory KV store.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+
+class KvCache:
+    """LRU-evicting hash table with byte-budget accounting."""
+
+    def __init__(self, capacity_bytes: int = 1 << 20):
+        if capacity_bytes <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity_bytes = capacity_bytes
+        self.used_bytes = 0
+        self._table: "OrderedDict[bytes, bytes]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @staticmethod
+    def _entry_size(key: bytes, value: bytes) -> int:
+        return len(key) + len(value) + 32  # struct overhead
+
+    def read(self, key: bytes) -> Optional[bytes]:
+        value = self._table.get(key)
+        if value is None:
+            self.misses += 1
+            return None
+        self._table.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def write(self, key: bytes, value: bytes) -> None:
+        if key in self._table:
+            self.used_bytes -= self._entry_size(key, self._table[key])
+            del self._table[key]
+        entry = self._entry_size(key, value)
+        while self.used_bytes + entry > self.capacity_bytes and self._table:
+            old_key, old_val = self._table.popitem(last=False)
+            self.used_bytes -= self._entry_size(old_key, old_val)
+            self.evictions += 1
+        if entry > self.capacity_bytes:
+            raise ValueError("entry larger than the whole cache")
+        self._table[key] = value
+        self.used_bytes += entry
+
+    def delete(self, key: bytes) -> bool:
+        value = self._table.pop(key, None)
+        if value is None:
+            return False
+        self.used_bytes -= self._entry_size(key, value)
+        return True
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

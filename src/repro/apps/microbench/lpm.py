@@ -1,0 +1,56 @@
+"""Binary-trie longest-prefix-match router (Table 3: "Router", per NBA [32])."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class _TrieNode:
+    __slots__ = ("children", "next_hop")
+
+    def __init__(self):
+        self.children = [None, None]
+        self.next_hop: Optional[str] = None
+
+
+class LpmRouter:
+    """IPv4 longest-prefix-match over a binary trie."""
+
+    def __init__(self):
+        self._root = _TrieNode()
+        self.routes = 0
+        self.lookups = 0
+        self.node_visits = 0
+
+    def add_route(self, prefix: int, prefix_len: int, next_hop: str) -> None:
+        """Install ``prefix/prefix_len`` → next_hop."""
+        if not 0 <= prefix_len <= 32:
+            raise ValueError("prefix length must be 0..32")
+        node = self._root
+        for depth in range(prefix_len):
+            bit = (prefix >> (31 - depth)) & 1
+            if node.children[bit] is None:
+                node.children[bit] = _TrieNode()
+            node = node.children[bit]
+        node.next_hop = next_hop
+        self.routes += 1
+
+    def lookup(self, address: int) -> Optional[str]:
+        """Longest matching prefix's next hop, or None (no default route)."""
+        self.lookups += 1
+        node = self._root
+        best = node.next_hop
+        for depth in range(32):
+            bit = (address >> (31 - depth)) & 1
+            node = node.children[bit]
+            if node is None:
+                break
+            self.node_visits += 1
+            if node.next_hop is not None:
+                best = node.next_hop
+        return best
+
+
+def ip(a: int, b: int, c: int, d: int) -> int:
+    """Dotted-quad helper: ip(10, 0, 0, 1)."""
+    return (a << 24) | (b << 16) | (c << 8) | d

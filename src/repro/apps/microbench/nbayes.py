@@ -1,0 +1,81 @@
+"""Naive Bayes flow classifier (Table 3: "Flow classifier" [40]).
+
+Multinomial naive Bayes over discretized packet features (sizes,
+inter-arrival buckets, port classes).  Heavily memory-bound on the 2-D
+likelihood arrays — the paper's highest-MPKI workload (15.2).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence
+
+
+class NaiveBayesClassifier:
+    """Categorical naive Bayes with Laplace smoothing."""
+
+    def __init__(self, classes: Sequence[str], feature_cardinalities: Sequence[int]):
+        if not classes:
+            raise ValueError("need at least one class")
+        self.classes = list(classes)
+        self.cardinalities = list(feature_cardinalities)
+        #: counts[class][feature][value]
+        self.counts: Dict[str, List[List[int]]] = {
+            c: [[0] * card for card in self.cardinalities] for c in self.classes
+        }
+        self.class_counts: Dict[str, int] = {c: 0 for c in self.classes}
+        self.trained = 0
+        self.classified = 0
+
+    def _check(self, features: Sequence[int]) -> None:
+        if len(features) != len(self.cardinalities):
+            raise ValueError("feature vector has wrong arity")
+        for value, card in zip(features, self.cardinalities):
+            if not 0 <= value < card:
+                raise ValueError(f"feature value {value} out of range 0..{card - 1}")
+
+    def train(self, features: Sequence[int], label: str) -> None:
+        self._check(features)
+        table = self.counts[label]
+        for f_idx, value in enumerate(features):
+            table[f_idx][value] += 1
+        self.class_counts[label] += 1
+        self.trained += 1
+
+    def log_posterior(self, features: Sequence[int], label: str) -> float:
+        """Unnormalized log posterior with Laplace(1) smoothing."""
+        total = sum(self.class_counts.values())
+        prior = (self.class_counts[label] + 1) / (total + len(self.classes))
+        logp = math.log(prior)
+        table = self.counts[label]
+        n_label = self.class_counts[label]
+        for f_idx, value in enumerate(features):
+            card = self.cardinalities[f_idx]
+            logp += math.log((table[f_idx][value] + 1) / (n_label + card))
+        return logp
+
+    def classify(self, features: Sequence[int]) -> str:
+        """Most probable class for the feature vector."""
+        self._check(features)
+        self.classified += 1
+        return max(self.classes,
+                   key=lambda c: self.log_posterior(features, c))
+
+
+def packet_features(size: int, gap_us: float, dst_port: int) -> List[int]:
+    """Discretize a packet into the classifier's feature space:
+    8 size buckets, 8 inter-arrival buckets, 4 port classes."""
+    size_bucket = min(size // 192, 7)
+    gap_bucket = min(int(math.log2(gap_us + 1)), 7)
+    if dst_port in (80, 443):
+        port_class = 0
+    elif dst_port < 1024:
+        port_class = 1
+    elif dst_port < 32768:
+        port_class = 2
+    else:
+        port_class = 3
+    return [size_bucket, gap_bucket, port_class]
+
+
+FEATURE_CARDINALITIES = (8, 8, 4)

@@ -1,0 +1,94 @@
+"""pFabric packet scheduler on a binary search tree (Table 3 [2]).
+
+pFabric schedules the packet whose flow has the smallest remaining size
+(SRPT at the packet level).  The priority structure is an explicit BST
+keyed on remaining-flow-size — matching the Table-3 "BST tree" data
+structure and its memory-bound behaviour (MPKI 4.9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass
+class QueuedPacket:
+    flow_id: int
+    remaining_bytes: int
+    payload: object = None
+    seq: int = 0
+
+
+class _BstNode:
+    __slots__ = ("key", "packets", "left", "right")
+
+    def __init__(self, key: int):
+        self.key = key
+        self.packets: List[QueuedPacket] = []
+        self.left: Optional["_BstNode"] = None
+        self.right: Optional["_BstNode"] = None
+
+
+class PFabricScheduler:
+    """Enqueue packets with their flow's remaining size; dequeue SRPT-first."""
+
+    def __init__(self):
+        self._root: Optional[_BstNode] = None
+        self._size = 0
+        self._seq = 0
+        self.node_visits = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def enqueue(self, packet: QueuedPacket) -> None:
+        self._seq += 1
+        packet.seq = self._seq
+        if self._root is None:
+            self._root = _BstNode(packet.remaining_bytes)
+            self._root.packets.append(packet)
+        else:
+            node = self._root
+            while True:
+                self.node_visits += 1
+                if packet.remaining_bytes == node.key:
+                    node.packets.append(packet)
+                    break
+                side = "left" if packet.remaining_bytes < node.key else "right"
+                child = getattr(node, side)
+                if child is None:
+                    child = _BstNode(packet.remaining_bytes)
+                    child.packets.append(packet)
+                    setattr(node, side, child)
+                    break
+                node = child
+        self._size += 1
+
+    def dequeue(self) -> Optional[QueuedPacket]:
+        """Pop the packet of the flow with the smallest remaining size;
+        FIFO within a flow size (earliest seq first)."""
+        if self._root is None:
+            return None
+        parent, node = None, self._root
+        while node.left is not None:
+            self.node_visits += 1
+            parent, node = node, node.left
+        packet = min(node.packets, key=lambda p: p.seq)
+        node.packets.remove(packet)
+        if not node.packets:
+            # splice the (left-less) minimum node out
+            if parent is None:
+                self._root = node.right
+            else:
+                parent.left = node.right
+        self._size -= 1
+        return packet
+
+    def peek_min_key(self) -> Optional[int]:
+        node = self._root
+        if node is None:
+            return None
+        while node.left is not None:
+            node = node.left
+        return node.key

@@ -1,0 +1,64 @@
+"""Leaky-bucket rate limiter (Table 3: "Rate limiter", FIFO, per ClickNP).
+
+Per-flow leaky buckets: a packet is admitted when its flow's bucket has
+room; the bucket drains at the configured rate as virtual time advances.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable
+
+
+class LeakyBucket:
+    """One flow's bucket: level drains at ``rate`` bytes/µs."""
+
+    __slots__ = ("capacity", "rate", "level", "last_update")
+
+    def __init__(self, capacity_bytes: float, rate_bytes_per_us: float):
+        self.capacity = capacity_bytes
+        self.rate = rate_bytes_per_us
+        self.level = 0.0
+        self.last_update = 0.0
+
+    def _drain(self, now: float) -> None:
+        elapsed = max(now - self.last_update, 0.0)
+        self.level = max(0.0, self.level - elapsed * self.rate)
+        self.last_update = now
+
+    def offer(self, nbytes: int, now: float) -> bool:
+        """True if the packet fits (and is charged), False to drop."""
+        self._drain(now)
+        if self.level + nbytes > self.capacity:
+            return False
+        self.level += nbytes
+        return True
+
+
+class RateLimiter:
+    """Per-flow leaky-bucket policer."""
+
+    def __init__(self, rate_bytes_per_us: float = 1250.0,
+                 burst_bytes: float = 15_000.0):
+        if rate_bytes_per_us <= 0 or burst_bytes <= 0:
+            raise ValueError("rate and burst must be positive")
+        self.rate = rate_bytes_per_us
+        self.burst = burst_bytes
+        self._buckets: Dict[Hashable, LeakyBucket] = {}
+        self.admitted = 0
+        self.dropped = 0
+
+    def admit(self, flow: Hashable, nbytes: int, now: float) -> bool:
+        bucket = self._buckets.get(flow)
+        if bucket is None:
+            bucket = LeakyBucket(self.burst, self.rate)
+            bucket.last_update = now
+            self._buckets[flow] = bucket
+        ok = bucket.offer(nbytes, now)
+        if ok:
+            self.admitted += 1
+        else:
+            self.dropped += 1
+        return ok
+
+    def flows(self) -> int:
+        return len(self._buckets)

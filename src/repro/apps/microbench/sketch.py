@@ -1,0 +1,47 @@
+"""Count-min sketch flow monitor (Table 3: "Flow monitor", 2-D array).
+
+The in-network flow monitoring workload of Sharma et al. [57]: every
+packet updates a count-min sketch keyed by its flow 5-tuple; queries
+return a (one-sided) frequency estimate.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Hashable, List
+
+
+class CountMinSketch:
+    """A width x depth counter array with pairwise-independent row hashes."""
+
+    def __init__(self, width: int = 2048, depth: int = 4):
+        if width <= 0 or depth <= 0:
+            raise ValueError("width and depth must be positive")
+        self.width = width
+        self.depth = depth
+        self.rows: List[List[int]] = [[0] * width for _ in range(depth)]
+        self.updates = 0
+
+    def _index(self, row: int, key: Hashable) -> int:
+        blob = f"{row}:{key}".encode()
+        return zlib.crc32(blob) % self.width
+
+    def update(self, key: Hashable, count: int = 1) -> None:
+        """Record ``count`` occurrences of ``key``."""
+        for row in range(self.depth):
+            self.rows[row][self._index(row, key)] += count
+        self.updates += 1
+
+    def estimate(self, key: Hashable) -> int:
+        """Point query: an estimate that never undercounts."""
+        return min(self.rows[row][self._index(row, key)]
+                   for row in range(self.depth))
+
+    def heavy_hitters(self, keys, threshold: int):
+        """Filter candidate keys whose estimate reaches the threshold."""
+        return [k for k in keys if self.estimate(k) >= threshold]
+
+    @property
+    def memory_accesses_per_update(self) -> int:
+        """Accesses per update, for the microarchitectural cost model."""
+        return 2 * self.depth  # read + write one counter per row

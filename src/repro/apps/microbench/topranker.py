@@ -1,0 +1,77 @@
+"""Quicksort top-N ranker (Table 3: "Top ranker", 1-D array, per Floem [53]).
+
+Sorts a batch of (item, count) tuples by count and emits the top N —
+the ranking worker of the real-time analytics pipeline.  Quicksort is
+implemented explicitly (not via ``sorted``) because the workload *is* the
+sort: the cost model charges by comparison/swap counts.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+Tuple2 = Tuple[object, int]
+
+
+class TopRanker:
+    """Batch quicksort ranker with instrumentation counters."""
+
+    def __init__(self, n: int = 10):
+        if n <= 0:
+            raise ValueError("n must be positive")
+        self.n = n
+        self.comparisons = 0
+        self.swaps = 0
+
+    def rank(self, tuples: Sequence[Tuple2]) -> List[Tuple2]:
+        """Return the top-n tuples by descending count."""
+        data = list(tuples)
+        self._quicksort(data, 0, len(data) - 1)
+        return data[: self.n]
+
+    def merge(self, *ranked_lists: Sequence[Tuple2]) -> List[Tuple2]:
+        """Aggregate ranker: merge per-worker top-n lists into a global one.
+
+        The same item can appear in several workers' snapshots — keep the
+        highest count per item before ranking.
+        """
+        best = {}
+        for lst in ranked_lists:
+            for item, count in lst:
+                if item not in best or count > best[item]:
+                    best[item] = count
+        merged: List[Tuple2] = list(best.items())
+        self._quicksort(merged, 0, len(merged) - 1)
+        return merged[: self.n]
+
+    # -- explicit quicksort (descending by count) ------------------------
+    def _quicksort(self, data: List[Tuple2], lo: int, hi: int) -> None:
+        while lo < hi:
+            p = self._partition(data, lo, hi)
+            # recurse on the smaller side to bound stack depth
+            if p - lo < hi - p:
+                self._quicksort(data, lo, p - 1)
+                lo = p + 1
+            else:
+                self._quicksort(data, p + 1, hi)
+                hi = p - 1
+
+    def _partition(self, data: List[Tuple2], lo: int, hi: int) -> int:
+        mid = (lo + hi) // 2
+        # median-of-three pivot
+        for a, b in ((lo, mid), (lo, hi), (mid, hi)):
+            self.comparisons += 1
+            if data[a][1] < data[b][1]:
+                data[a], data[b] = data[b], data[a]
+                self.swaps += 1
+        pivot = data[mid][1]
+        data[mid], data[hi] = data[hi], data[mid]
+        store = lo
+        for i in range(lo, hi):
+            self.comparisons += 1
+            if data[i][1] > pivot:
+                data[i], data[store] = data[store], data[i]
+                self.swaps += 1
+                store += 1
+        data[store], data[hi] = data[hi], data[store]
+        return store

@@ -1,0 +1,13 @@
+"""Network functions on iPipe (§5.7): firewall and IPsec gateway."""
+
+from .firewall import Firewall, FirewallNode, generate_ruleset
+from .ipsec import EspPacket, IpsecGateway, IpsecNode
+
+__all__ = [
+    "Firewall",
+    "FirewallNode",
+    "generate_ruleset",
+    "EspPacket",
+    "IpsecGateway",
+    "IpsecNode",
+]

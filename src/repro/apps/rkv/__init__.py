@@ -1,0 +1,17 @@
+"""Replicated key-value store: Multi-Paxos + LSM tree over iPipe actors."""
+
+from .skiplist import DmoSkipList
+from .lsm import LsmTree, SSTable
+from .paxos import LogEntry, MultiPaxosNode, PaxosMessage
+from .actors import RkvNode, RkvStorage
+
+__all__ = [
+    "DmoSkipList",
+    "LsmTree",
+    "SSTable",
+    "LogEntry",
+    "MultiPaxosNode",
+    "PaxosMessage",
+    "RkvNode",
+    "RkvStorage",
+]

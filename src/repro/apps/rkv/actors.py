@@ -1,0 +1,232 @@
+"""The replicated key-value store as iPipe actors (§4).
+
+Four actor kinds per shard:
+
+* **consensus** (NIC) — receives client writes, runs Multi-Paxos with the
+  peer replicas' consensus actors, and forwards committed commands to the
+  Memtable actor during the commit phase.
+* **memtable** (NIC) — the DMO skip-list Memtable: applies committed
+  writes/deletes, serves fast reads, freezes itself into an immutable run
+  when full (minor compaction) and messages the compaction actor.
+* **sst_read** (host, pinned) — serves reads that miss the Memtable from
+  the levelled SSTables (persistent storage).
+* **compaction** (host, pinned) — ingests frozen runs and performs
+  minor/major compactions.
+
+The SSTables live in :class:`RkvStorage` — the on-disk state both
+host-side actors reach through the storage service (disk is shared
+infrastructure, not actor state; the actors' *private* state is their
+DMOs and Python-side indexes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ...core import Actor, Location, Message
+from ...nic.cores import WorkloadProfile
+from .lsm import LsmTree
+from .paxos import MultiPaxosNode, PaxosMessage
+from .skiplist import DmoSkipList
+
+#: Handler cost profiles (NIC-reference µs, IPC, MPKI), consistent with
+#: Table 3's measured range: replication-style consensus work ≈ 1.9µs,
+#: skip-list ops ≈ the KV-cache row, storage-backed ops dominated by I/O.
+CONSENSUS_PROFILE = WorkloadProfile("rkv_consensus", 1.9, 1.4, 0.6)
+MEMTABLE_PROFILE = WorkloadProfile("rkv_memtable", 4.0, 1.2, 0.9)
+SSTREAD_PROFILE = WorkloadProfile("rkv_sstread", 8.0, 0.8, 4.0)
+COMPACTION_PROFILE = WorkloadProfile("rkv_compaction", 400.0, 0.6, 8.0)
+
+DEFAULT_MEMTABLE_LIMIT = 4 * 1024 * 1024
+
+
+@dataclass
+class RkvStorage:
+    """Host-persistent state shared by the storage-backed actors."""
+
+    lsm: LsmTree = field(default_factory=LsmTree)
+
+
+class RkvNode:
+    """Wires the four RKV actors into one server's iPipe runtime."""
+
+    def __init__(self, runtime, peer_nodes: List[str],
+                 initial_leader: Optional[str] = None,
+                 memtable_limit: int = DEFAULT_MEMTABLE_LIMIT):
+        self.runtime = runtime
+        self.node = runtime.node_name
+        self.peers = peer_nodes
+        self.storage = RkvStorage()
+        self.memtable_limit = memtable_limit
+        self._frozen_runs: Dict[int, List] = {}
+        self._next_run = 0
+        self._pending_replies: Dict[int, Message] = {}
+        self.replies_sent = 0
+        self.reads_served_memtable = 0
+        self.reads_served_sstable = 0
+        self.not_found = 0
+
+        self.paxos = MultiPaxosNode(
+            name=self.node, peers=peer_nodes,
+            send=self._paxos_send,
+            on_commit=self._on_commit,
+            initial_leader=initial_leader or self.node)
+        self._paxos_ctx = None
+
+        self.consensus = Actor("consensus", self._consensus_handler,
+                               profile=CONSENSUS_PROFILE, concurrent=True)
+        self.memtable_actor = Actor("memtable", self._memtable_handler,
+                                    profile=MEMTABLE_PROFILE, concurrent=True,
+                                    state_bytes=4 * memtable_limit)
+        self.sst_read = Actor("sst_read", self._sst_read_handler,
+                              profile=SSTREAD_PROFILE,
+                              location=Location.HOST, pinned=True,
+                              concurrent=True)
+        self.compaction = Actor("compaction", self._compaction_handler,
+                                profile=COMPACTION_PROFILE,
+                                location=Location.HOST, pinned=True)
+        runtime.register_actor(self.consensus,
+                               steering_keys=["consensus", "rkv-put", "rkv-del"])
+        runtime.register_actor(self.memtable_actor,
+                               steering_keys=["memtable", "rkv-get"])
+        runtime.register_actor(self.sst_read, steering_keys=["sst_read"])
+        runtime.register_actor(self.compaction, steering_keys=["compaction"])
+        self.memtable = DmoSkipList(runtime.dmo, "memtable")
+
+    def prefill(self, n_keys: int, value_bytes: int) -> None:
+        """Load the hottest ``n_keys`` into the memtable (warm steady
+        state: under zipf(0.99) the freshly-written hot keys are memtable
+        resident; the paper measures warmed-up systems)."""
+        value = bytes(value_bytes)
+        for i in range(n_keys):
+            self.memtable.insert(f"key{i:013d}", value)
+        # prefill is warm state, not traffic: don't let it trigger a flush
+        self.memtable.byte_size = min(self.memtable.byte_size,
+                                      self.memtable_limit // 2)
+
+    # -- paxos transport --------------------------------------------------------
+    def _paxos_send(self, peer: str, pmsg: PaxosMessage) -> None:
+        ctx = self._paxos_ctx
+        if ctx is None:
+            return
+        ctx.send_remote(peer, "consensus", kind="paxos", payload=pmsg, size=128)
+
+    def _on_commit(self, instance: int, command) -> None:
+        """RSM apply: hand the committed command to the Memtable actor."""
+        ctx = self._paxos_ctx
+        if ctx is None:
+            return
+        reply_to = self._pending_replies.pop(instance, None)
+        ctx.send("memtable", kind="apply",
+                 payload={"command": command,
+                          "reply_to": reply_to},
+                 size=64 + len(command.get("value", b"") or b""))
+
+    # -- consensus actor -----------------------------------------------------------
+    def _consensus_handler(self, actor: Actor, msg: Message, ctx):
+        self._paxos_ctx = ctx
+        yield ctx.compute(profile=CONSENSUS_PROFILE)
+        if msg.kind == "paxos":
+            self.paxos.handle(msg.payload)
+        else:  # client write/delete
+            command = dict(msg.payload)
+            command["op"] = "del" if msg.kind == "rkv-del" else "put"
+            instance = self.paxos.client_request(command)
+            if instance is not None and msg.packet is not None:
+                self._pending_replies[instance] = msg
+
+    # -- memtable actor ---------------------------------------------------------------
+    def _memtable_handler(self, actor: Actor, msg: Message, ctx):
+        self._paxos_ctx = self._paxos_ctx or ctx
+        yield ctx.compute(profile=MEMTABLE_PROFILE)
+        if msg.kind == "apply":
+            command = msg.payload["command"]
+            if command["op"] == "del":
+                self.memtable.delete(command["key"])
+            else:
+                self.memtable.insert(command["key"], command["value"])
+            reply_to = msg.payload.get("reply_to")
+            if reply_to is not None:
+                ctx.reply(reply_to, payload={"status": "ok"}, size=64)
+                self.replies_sent += 1
+            if self.memtable.byte_size > self.memtable_limit:
+                self._freeze(ctx)
+        elif msg.kind == "rkv-get":
+            key = msg.payload["key"]
+            value = self.memtable.get(key)
+            if value is not None or self.memtable.is_tombstoned(key):
+                self.reads_served_memtable += 1
+                ctx.reply(msg, payload={"status": "ok", "value": value},
+                          size=64 + len(value or b""))
+                self.replies_sent += 1
+                return
+            for run_id in sorted(self._frozen_runs, reverse=True):
+                for k, v, deleted in self._frozen_runs[run_id]:
+                    if k == key:
+                        self.reads_served_memtable += 1
+                        ctx.reply(msg, payload={
+                            "status": "ok",
+                            "value": None if deleted else v,
+                        }, size=64 + len(v or b""))
+                        self.replies_sent += 1
+                        return
+            ctx.send("sst_read", kind="get", payload=msg.payload,
+                     size=msg.size, packet=msg.packet)
+        elif msg.kind == "flush_done":
+            self._frozen_runs.pop(msg.payload["run_id"], None)
+
+    def _freeze(self, ctx) -> None:
+        """Minor compaction: freeze the Memtable and ship it to the host."""
+        items = list(self.memtable.items())
+        run_id = self._next_run
+        self._next_run += 1
+        self._frozen_runs[run_id] = items
+        size = self.memtable.byte_size
+        # reclaim every skip-list DMO before building the fresh memtable —
+        # the frozen items were copied out above
+        dmo = self.runtime.dmo
+        for table in dmo.tables.values():
+            for obj in list(table.owned_by("memtable")):
+                dmo.free("memtable", obj.object_id)
+        self.memtable = DmoSkipList(dmo, "memtable")
+        ctx.send("compaction", kind="flush",
+                 payload={"run_id": run_id, "items": items}, size=size)
+
+    # -- sst_read actor (host) ----------------------------------------------------------
+    def _sst_read_handler(self, actor: Actor, msg: Message, ctx):
+        yield ctx.compute(profile=SSTREAD_PROFILE)
+        yield from ctx.storage_read()
+        key = msg.payload["key"]
+        found, value = self.storage.lsm.get(key)
+        if found and value is not None:
+            self.reads_served_sstable += 1
+            status = "ok"
+        else:
+            self.not_found += 1
+            status = "not_found"
+            value = None
+        if msg.packet is not None:
+            ctx.reply(msg, payload={"status": status, "value": value},
+                      size=64 + len(value or b""))
+            self.replies_sent += 1
+
+    # -- compaction actor (host) ------------------------------------------------------------
+    def _compaction_handler(self, actor: Actor, msg: Message, ctx):
+        if msg.kind != "flush":
+            return
+        items = msg.payload["items"]
+        run_bytes = sum(len(k) + len(v or b"") for k, v, _ in items)
+        yield ctx.compute(profile=COMPACTION_PROFILE,
+                          scale=max(len(items), 1) / 1000.0)
+        yield from ctx.storage_write(run_bytes)
+        self.storage.lsm.flush_run(items)
+        while True:
+            level = self.storage.lsm.needs_compaction()
+            if level is None:
+                break
+            yield ctx.compute(profile=COMPACTION_PROFILE)
+            yield from ctx.storage_write(self.storage.lsm.level_bytes(level))
+            self.storage.lsm.compact(level)
+        ctx.send("memtable", kind="flush_done",
+                 payload={"run_id": msg.payload["run_id"]}, size=64)

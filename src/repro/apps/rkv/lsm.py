@@ -1,0 +1,185 @@
+"""Log-structured merge tree: Memtable + levelled SSTables (§4).
+
+The shape follows LevelDB/Bigtable as the paper describes: writes
+accumulate in a skip-list Memtable; a full Memtable is frozen and flushed
+to a level-0 SSTable (minor compaction); levels have exponentially
+growing size limits and are merged upward (major compaction); deletions
+are tombstones dropped at the bottom level; reads check Memtable →
+immutable Memtable → L0 (newest first) → L1..Ln.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+#: Level size limits grow 10x per level (LevelDB's growth factor).
+LEVEL_GROWTH = 10
+DEFAULT_L0_LIMIT = 4            # L0 is limited by table count, not bytes
+
+
+@dataclass
+class SSTable:
+    """An immutable sorted run: parallel key/value arrays."""
+
+    keys: List[str]
+    values: List[Optional[bytes]]      # None marks a tombstone
+    sequence: int                      # creation order, newer = larger
+
+    @property
+    def min_key(self) -> str:
+        return self.keys[0]
+
+    @property
+    def max_key(self) -> str:
+        return self.keys[-1]
+
+    @property
+    def byte_size(self) -> int:
+        return sum(len(k) + (len(v) if v else 0) + 16
+                   for k, v in zip(self.keys, self.values))
+
+    def get(self, key: str) -> Tuple[bool, Optional[bytes]]:
+        """(found, value); value None with found=True means tombstone."""
+        idx = bisect.bisect_left(self.keys, key)
+        if idx < len(self.keys) and self.keys[idx] == key:
+            return True, self.values[idx]
+        return False, None
+
+    def overlaps(self, other: "SSTable") -> bool:
+        return not (self.max_key < other.min_key or other.max_key < self.min_key)
+
+
+@dataclass
+class LsmStats:
+    flushes: int = 0
+    minor_compactions: int = 0
+    major_compactions: int = 0
+    tombstones_dropped: int = 0
+    bytes_written: int = 0
+
+
+class LsmTree:
+    """The persistent half of the store: levelled SSTables.
+
+    The Memtable lives with the Memtable *actor* (as a DMO skip list);
+    this class receives frozen, sorted runs from it and owns levels 0..n.
+    """
+
+    def __init__(self, l0_table_limit: int = DEFAULT_L0_LIMIT,
+                 l1_byte_limit: int = 1 << 20, max_levels: int = 5):
+        self.l0_table_limit = l0_table_limit
+        self.l1_byte_limit = l1_byte_limit
+        self.max_levels = max_levels
+        self.levels: List[List[SSTable]] = [[] for _ in range(max_levels)]
+        self._sequence = 0
+        self.stats = LsmStats()
+
+    # -- ingestion -----------------------------------------------------------
+    def flush_run(self, items: List[Tuple[str, Optional[bytes], bool]]) -> SSTable:
+        """Minor compaction: a frozen Memtable becomes a level-0 SSTable."""
+        keys: List[str] = []
+        values: List[Optional[bytes]] = []
+        for key, value, deleted in items:
+            keys.append(key)
+            values.append(None if deleted else value)
+        self._sequence += 1
+        table = SSTable(keys=keys, values=values, sequence=self._sequence)
+        self.levels[0].append(table)
+        self.stats.flushes += 1
+        self.stats.minor_compactions += 1
+        self.stats.bytes_written += table.byte_size
+        return table
+
+    # -- reads ------------------------------------------------------------------
+    def get(self, key: str) -> Tuple[bool, Optional[bytes]]:
+        """Search L0 newest-first, then L1..Ln."""
+        for table in sorted(self.levels[0], key=lambda t: -t.sequence):
+            found, value = table.get(key)
+            if found:
+                return True, value
+        for level in self.levels[1:]:
+            for table in level:
+                if table.keys and table.min_key <= key <= table.max_key:
+                    found, value = table.get(key)
+                    if found:
+                        return True, value
+        return False, None
+
+    # -- compaction ----------------------------------------------------------------
+    def needs_compaction(self) -> Optional[int]:
+        """The lowest level over its limit, or None."""
+        if len(self.levels[0]) > self.l0_table_limit:
+            return 0
+        limit = self.l1_byte_limit
+        for lvl in range(1, self.max_levels - 1):
+            if self.level_bytes(lvl) > limit:
+                return lvl
+            limit *= LEVEL_GROWTH
+        return None
+
+    def level_bytes(self, level: int) -> int:
+        return sum(t.byte_size for t in self.levels[level])
+
+    def compact(self, level: int) -> None:
+        """Major compaction: merge ``level`` into ``level + 1``."""
+        if level >= self.max_levels - 1:
+            return
+        upper = self.levels[level]
+        lower = self.levels[level + 1]
+        if not upper:
+            return
+        merged_sources = sorted(upper, key=lambda t: -t.sequence)
+        # pull in every overlapping lower-level table
+        overlapping = [t for t in lower
+                       if any(t.overlaps(u) for u in upper)]
+        keep = [t for t in lower if t not in overlapping]
+        merged_sources.extend(sorted(overlapping, key=lambda t: -t.sequence))
+
+        latest: Dict[str, Optional[bytes]] = {}
+        for table in merged_sources:               # newest first
+            for k, v in zip(table.keys, table.values):
+                if k not in latest:
+                    latest[k] = v
+        bottom = (level + 1 == self.max_levels - 1)
+        keys_sorted = sorted(latest)
+        out_keys: List[str] = []
+        out_values: List[Optional[bytes]] = []
+        for k in keys_sorted:
+            v = latest[k]
+            if v is None and bottom:
+                self.stats.tombstones_dropped += 1
+                continue                            # drop tombstone at bottom
+            out_keys.append(k)
+            out_values.append(v)
+        self.levels[level] = []
+        new_lower = list(keep)
+        if out_keys:
+            self._sequence += 1
+            table = SSTable(keys=out_keys, values=out_values,
+                            sequence=self._sequence)
+            new_lower.append(table)
+            self.stats.bytes_written += table.byte_size
+        self.levels[level + 1] = new_lower
+        self.stats.major_compactions += 1
+
+    def compact_until_stable(self, max_rounds: int = 16) -> None:
+        for _ in range(max_rounds):
+            level = self.needs_compaction()
+            if level is None:
+                return
+            self.compact(level)
+
+    # -- introspection ----------------------------------------------------------------
+    def total_tables(self) -> int:
+        return sum(len(level) for level in self.levels)
+
+    def all_keys(self) -> List[str]:
+        seen: Dict[str, Optional[bytes]] = {}
+        for level_idx, level in enumerate(self.levels):
+            for table in sorted(level, key=lambda t: -t.sequence):
+                for k, v in zip(table.keys, table.values):
+                    if k not in seen:
+                        seen[k] = v
+        return sorted(k for k, v in seen.items() if v is not None)

@@ -1,0 +1,15 @@
+"""Real-time analytics engine: filter → counter → ranker pipeline."""
+
+from .filter import PatternFilter, Regex, RegexError
+from .counter import CounterWorker, SlidingWindowCounter
+from .actors import DEFAULT_PATTERNS, RtaWorkerNode
+
+__all__ = [
+    "PatternFilter",
+    "Regex",
+    "RegexError",
+    "CounterWorker",
+    "SlidingWindowCounter",
+    "DEFAULT_PATTERNS",
+    "RtaWorkerNode",
+]

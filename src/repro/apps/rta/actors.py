@@ -1,0 +1,108 @@
+"""Real-time analytics engine as iPipe actors (§4, extending FlexStorm).
+
+Each worker server runs the three-stage pipeline: **filter** (pattern
+matching, stateless) → **counter** (sliding window, software-managed
+cache) → **ranker** (quicksort top-n, one consolidated DMO).  A topology
+mapping table tells every worker where the next stage lives; per-worker
+rankers emit their top-n to the aggregated ranker node.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ...core import Actor, Location, Message
+from ...nic.cores import WorkloadProfile
+from ..microbench.topranker import TopRanker
+from .counter import CounterWorker
+from .filter import PatternFilter
+
+FILTER_PROFILE = WorkloadProfile("rta_filter", 2.0, 1.3, 0.7)
+COUNTER_PROFILE = WorkloadProfile("rta_counter", 3.2, 1.4, 0.8)
+RANKER_PROFILE = WorkloadProfile("rta_ranker", 34.0, 1.7, 0.1)
+
+DEFAULT_PATTERNS = ["#[a-z]+", "http", "RT"]
+
+
+class RtaWorkerNode:
+    """One analytics worker: filter → counter → ranker actors.
+
+    ``topology`` maps stage name → node that runs the *next* stage; the
+    aggregated ranker runs on ``aggregate_node`` (possibly this node).
+    """
+
+    def __init__(self, runtime, aggregate_node: Optional[str] = None,
+                 patterns: Optional[List[str]] = None, top_n: int = 10,
+                 emit_every_us: float = 1_000.0):
+        self.runtime = runtime
+        self.node = runtime.node_name
+        self.aggregate_node = aggregate_node or self.node
+        self.topology: Dict[str, str] = {
+            "filter": self.node,        # counter is local
+            "counter": self.node,       # ranker is local
+            "ranker": self.aggregate_node,
+        }
+        self.filter = PatternFilter(patterns or DEFAULT_PATTERNS)
+        self.counter = CounterWorker(emit_every_us=emit_every_us)
+        self.ranker = TopRanker(n=top_n)
+        self.top: List = []
+        self.tuples_in = 0
+        self.replies_sent = 0
+
+        self.filter_actor = Actor("filter", self._filter_handler,
+                                  profile=FILTER_PROFILE, concurrent=True)
+        # counter/ranker state mutations happen atomically after the cost
+        # yield, so both actors can serve requests on multiple cores (§3.1:
+        # concurrency control is the application's responsibility)
+        self.counter_actor = Actor("counter", self._counter_handler,
+                                   profile=COUNTER_PROFILE, concurrent=True)
+        self.ranker_actor = Actor("ranker", self._ranker_handler,
+                                  profile=RANKER_PROFILE, concurrent=True)
+        runtime.register_actor(self.filter_actor,
+                               steering_keys=["filter", "rta-tuple"])
+        runtime.register_actor(self.counter_actor, steering_keys=["counter"])
+        runtime.register_actor(self.ranker_actor, steering_keys=["ranker"])
+        #: consolidated top-n DMO (one object, §4)
+        self.top_dmo = runtime.dmo.malloc("ranker", 4096, data=[])
+
+    # -- filter ---------------------------------------------------------------
+    def _filter_handler(self, actor: Actor, msg: Message, ctx):
+        yield ctx.compute(profile=FILTER_PROFILE)
+        tuples = msg.payload.get("tuples", [])
+        self.tuples_in += len(tuples)
+        interesting = [t for t in tuples if self.filter.interesting(t)]
+        if interesting:
+            ctx.send("counter", kind="tuples",
+                     payload={"tuples": interesting}, size=msg.size,
+                     packet=msg.packet)
+        elif msg.packet is not None:
+            ctx.reply(msg, payload={"status": "filtered"}, size=64)
+            self.replies_sent += 1
+
+    # -- counter ----------------------------------------------------------------
+    def _counter_handler(self, actor: Actor, msg: Message, ctx):
+        yield ctx.compute(profile=COUNTER_PROFILE)
+        emit = False
+        for item in msg.payload["tuples"]:
+            emit = self.counter.observe(item, ctx.sim.now) or emit
+        if emit:
+            top_tuples = self.counter.emit(ctx.sim.now)
+            target_node = self.topology["ranker"]
+            if target_node == self.node:
+                ctx.send("ranker", kind="rank",
+                         payload={"tuples": top_tuples}, size=256)
+            else:
+                ctx.send_remote(target_node, "ranker", kind="rank",
+                                payload={"tuples": top_tuples}, size=256)
+        if msg.packet is not None:
+            ctx.reply(msg, payload={"status": "counted"}, size=64)
+            self.replies_sent += 1
+
+    # -- ranker --------------------------------------------------------------------
+    def _ranker_handler(self, actor: Actor, msg: Message, ctx):
+        yield ctx.compute(profile=RANKER_PROFILE)
+        tuples = msg.payload["tuples"]
+        current = self.runtime.dmo.read("ranker", self.top_dmo.object_id) or []
+        merged = self.ranker.merge(current, tuples)
+        self.runtime.dmo.write("ranker", self.top_dmo.object_id, merged)
+        self.top = merged

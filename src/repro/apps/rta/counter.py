@@ -1,0 +1,73 @@
+"""Sliding-window counter worker (§4).
+
+Counts tuple occurrences over a sliding time window (ring of sub-window
+buckets) and periodically emits (item, windowed-count) tuples downstream
+to the ranker.  Backed by a software-managed cache of per-item counts,
+matching the paper's description of the counter actor.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Tuple
+
+
+class SlidingWindowCounter:
+    """Ring-buffer sliding window: ``slots`` sub-windows of ``slot_us``."""
+
+    def __init__(self, window_us: float = 10_000.0, slots: int = 10):
+        if slots <= 0 or window_us <= 0:
+            raise ValueError("window and slots must be positive")
+        self.slot_us = window_us / slots
+        self.slots = slots
+        self._ring: List[Dict[str, int]] = [defaultdict(int) for _ in range(slots)]
+        self._slot_start = 0.0
+        self._current = 0
+        self.observed = 0
+
+    def _advance(self, now: float) -> None:
+        while now - self._slot_start >= self.slot_us:
+            self._slot_start += self.slot_us
+            self._current = (self._current + 1) % self.slots
+            self._ring[self._current] = defaultdict(int)
+
+    def observe(self, item: str, now: float, count: int = 1) -> None:
+        self._advance(now)
+        self._ring[self._current][item] += count
+        self.observed += 1
+
+    def count(self, item: str, now: float) -> int:
+        self._advance(now)
+        return sum(slot.get(item, 0) for slot in self._ring)
+
+    def snapshot(self, now: float) -> List[Tuple[str, int]]:
+        """All (item, windowed count) pairs — the periodic emission."""
+        self._advance(now)
+        totals: Dict[str, int] = defaultdict(int)
+        for slot in self._ring:
+            for item, count in slot.items():
+                totals[item] += count
+        return sorted(totals.items(), key=lambda kv: -kv[1])
+
+
+class CounterWorker:
+    """The counter actor's logic: observe, emit every ``emit_every_us``."""
+
+    def __init__(self, window_us: float = 10_000.0,
+                 emit_every_us: float = 1_000.0):
+        self.window = SlidingWindowCounter(window_us=window_us)
+        self.emit_every_us = emit_every_us
+        self._last_emit = 0.0
+        self.emissions = 0
+
+    def observe(self, item: str, now: float) -> bool:
+        """Record the tuple; True when it is time to emit downstream."""
+        self.window.observe(item, now)
+        if now - self._last_emit >= self.emit_every_us:
+            self._last_emit = now
+            self.emissions += 1
+            return True
+        return False
+
+    def emit(self, now: float, limit: int = 32) -> List[Tuple[str, int]]:
+        return self.window.snapshot(now)[:limit]

@@ -1,0 +1,230 @@
+"""Pattern-matching filter (§4, per Russ Cox's regexp articles [15]).
+
+A Thompson-construction NFA regex engine supporting the subset the
+FlexStorm filter needs: literals, ``.``, character classes ``[abc]`` /
+``[a-z]``, alternation ``|``, grouping ``(...)`` and the ``* + ?``
+quantifiers.  Simulation of the NFA is the classic lock-step set-of-states
+walk — linear time, no backtracking blowup — which is why it suits a
+wimpy NIC core.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Optional, Set, Tuple
+
+EPSILON = None
+
+
+class _State:
+    _ids = 0
+
+    def __init__(self):
+        _State._ids += 1
+        self.state_id = _State._ids
+        #: list of (predicate, next_state); predicate None = epsilon
+        self.edges: List[Tuple[Optional[object], "_State"]] = []
+        self.accepting = False
+
+
+class _Fragment:
+    def __init__(self, start: _State, outs: List[_State]):
+        self.start = start
+        self.outs = outs
+
+
+class RegexError(ValueError):
+    """Malformed pattern."""
+
+
+class _Parser:
+    """Recursive-descent parser building the NFA via Thompson construction."""
+
+    def __init__(self, pattern: str):
+        self.pattern = pattern
+        self.pos = 0
+
+    def parse(self) -> _Fragment:
+        frag = self._alternation()
+        if self.pos != len(self.pattern):
+            raise RegexError(f"unexpected {self.pattern[self.pos]!r} at {self.pos}")
+        return frag
+
+    # grammar: alternation := concat ('|' concat)*
+    def _alternation(self) -> _Fragment:
+        frag = self._concat()
+        while self._peek() == "|":
+            self.pos += 1
+            right = self._concat()
+            start = _State()
+            start.edges.append((EPSILON, frag.start))
+            start.edges.append((EPSILON, right.start))
+            frag = _Fragment(start, frag.outs + right.outs)
+        return frag
+
+    def _concat(self) -> _Fragment:
+        frags: List[_Fragment] = []
+        while self._peek() not in (None, "|", ")"):
+            frags.append(self._quantified())
+        if not frags:
+            state = _State()
+            return _Fragment(state, [state])
+        result = frags[0]
+        for nxt in frags[1:]:
+            for out in result.outs:
+                out.edges.append((EPSILON, nxt.start))
+            result = _Fragment(result.start, nxt.outs)
+        return result
+
+    def _quantified(self) -> _Fragment:
+        frag = self._atom()
+        quant = self._peek()
+        if quant == "*":
+            self.pos += 1
+            start = _State()
+            start.edges.append((EPSILON, frag.start))
+            for out in frag.outs:
+                out.edges.append((EPSILON, start))
+            return _Fragment(start, [start])
+        if quant == "+":
+            self.pos += 1
+            loop = _State()
+            loop.edges.append((EPSILON, frag.start))
+            for out in frag.outs:
+                out.edges.append((EPSILON, loop))
+            return _Fragment(frag.start, [loop])
+        if quant == "?":
+            self.pos += 1
+            start = _State()
+            start.edges.append((EPSILON, frag.start))
+            return _Fragment(start, frag.outs + [start])
+        return frag
+
+    def _atom(self) -> _Fragment:
+        ch = self._peek()
+        if ch == "(":
+            self.pos += 1
+            frag = self._alternation()
+            if self._peek() != ")":
+                raise RegexError("unbalanced parenthesis")
+            self.pos += 1
+            return frag
+        if ch == "[":
+            return self._char_class()
+        if ch == ".":
+            self.pos += 1
+            return self._edge(lambda c: True)
+        if ch == "\\":
+            self.pos += 1
+            literal = self._peek()
+            if literal is None:
+                raise RegexError("dangling escape")
+            self.pos += 1
+            return self._edge(lambda c, l=literal: c == l)
+        if ch in ("*", "+", "?"):
+            raise RegexError(f"quantifier {ch!r} with nothing to repeat")
+        self.pos += 1
+        return self._edge(lambda c, l=ch: c == l)
+
+    def _char_class(self) -> _Fragment:
+        self.pos += 1  # consume '['
+        negate = self._peek() == "^"
+        if negate:
+            self.pos += 1
+        allowed: Set[str] = set()
+        ranges: List[Tuple[str, str]] = []
+        while self._peek() not in (None, "]"):
+            start = self.pattern[self.pos]
+            self.pos += 1
+            if self._peek() == "-" and self.pos + 1 < len(self.pattern) \
+                    and self.pattern[self.pos + 1] != "]":
+                self.pos += 1
+                end = self.pattern[self.pos]
+                self.pos += 1
+                ranges.append((start, end))
+            else:
+                allowed.add(start)
+        if self._peek() != "]":
+            raise RegexError("unterminated character class")
+        self.pos += 1
+
+        def predicate(c, allowed=frozenset(allowed), ranges=tuple(ranges),
+                      negate=negate):
+            hit = c in allowed or any(lo <= c <= hi for lo, hi in ranges)
+            return hit != negate
+
+        return self._edge(predicate)
+
+    def _edge(self, predicate) -> _Fragment:
+        start = _State()
+        end = _State()
+        start.edges.append((predicate, end))
+        return _Fragment(start, [end])
+
+    def _peek(self) -> Optional[str]:
+        return self.pattern[self.pos] if self.pos < len(self.pattern) else None
+
+
+class Regex:
+    """A compiled pattern; ``search`` finds a match anywhere in the text."""
+
+    def __init__(self, pattern: str):
+        self.pattern = pattern
+        frag = _Parser(pattern).parse()
+        accept = _State()
+        accept.accepting = True
+        for out in frag.outs:
+            out.edges.append((EPSILON, accept))
+        self.start = frag.start
+
+    @staticmethod
+    def _closure(states: Set[_State]) -> FrozenSet[_State]:
+        stack = list(states)
+        seen = set(states)
+        while stack:
+            state = stack.pop()
+            for predicate, nxt in state.edges:
+                if predicate is EPSILON and nxt not in seen:
+                    seen.add(nxt)
+                    stack.append(nxt)
+        return frozenset(seen)
+
+    def match_here(self, text: str) -> bool:
+        """Anchored match: does a prefix of ``text`` match the pattern?"""
+        current = self._closure({self.start})
+        if any(s.accepting for s in current):
+            return True
+        for ch in text:
+            nxt: Set[_State] = set()
+            for state in current:
+                for predicate, target in state.edges:
+                    if predicate is not EPSILON and predicate(ch):
+                        nxt.add(target)
+            if not nxt:
+                return False
+            current = self._closure(nxt)
+            if any(s.accepting for s in current):
+                return True
+        return False
+
+    def search(self, text: str) -> bool:
+        """Unanchored match anywhere in the text."""
+        for start in range(len(text) + 1):
+            if self.match_here(text[start:]):
+                return True
+        return False
+
+
+class PatternFilter:
+    """The FlexStorm filter worker: drop tuples matching no pattern."""
+
+    def __init__(self, patterns: List[str]):
+        self.regexes = [Regex(p) for p in patterns]
+        self.passed = 0
+        self.discarded = 0
+
+    def interesting(self, text: str) -> bool:
+        if any(regex.search(text) for regex in self.regexes):
+            self.passed += 1
+            return True
+        self.discarded += 1
+        return False

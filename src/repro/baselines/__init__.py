@@ -1,0 +1,11 @@
+"""Comparison systems: DPDK host-only and Floem static offload."""
+
+from .dpdk import DpdkRuntime
+from .floem import FLOEM_QUEUE_OVERHEAD_US, FloemRuntime, floem_config
+
+__all__ = [
+    "DpdkRuntime",
+    "FLOEM_QUEUE_OVERHEAD_US",
+    "FloemRuntime",
+    "floem_config",
+]

@@ -1,0 +1,231 @@
+"""Command-line entry point: regenerate any paper table/figure.
+
+Usage::
+
+    python -m repro list
+    python -m repro fig2 fig4 table2
+    python -m repro fig16 --quick
+    python -m repro all --quick
+
+``--quick`` shrinks simulation durations ~4x for a fast look; the
+benchmark suite (``pytest benchmarks/ --benchmark-only``) remains the
+canonical reproduction run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict
+
+from .experiments.report import render_series, render_table
+
+
+def _table1() -> None:
+    from .nic import table1_rows
+    print(render_table(table1_rows(), title="Table 1: SmartNIC specifications"))
+
+
+def _table2() -> None:
+    from .experiments.characterization import table2_rows
+    print(render_table(table2_rows(), title="Table 2: memory latencies (ns)"))
+
+
+def _table3() -> None:
+    from .experiments.characterization import table3_accel_rows, table3_rows
+    print(render_table(table3_rows(), title="Table 3: offloaded workloads"))
+    print(render_table(table3_accel_rows(), title="Table 3: accelerators"))
+
+
+def _fig2(quick: bool = False) -> None:
+    from .experiments.characterization import figure2_series
+    from .nic import LIQUIDIO_CN2350
+    print("Figure 2: bandwidth (Gbps) vs cores, LiquidIOII CN2350")
+    for size, points in figure2_series(LIQUIDIO_CN2350).items():
+        print(" ", render_series(f"{size}B", *zip(*points)))
+
+
+def _fig3(quick: bool = False) -> None:
+    from .experiments.characterization import figure2_series
+    from .nic import STINGRAY_PS225
+    print("Figure 3: bandwidth (Gbps) vs cores, Stingray PS225")
+    for size, points in figure2_series(STINGRAY_PS225).items():
+        print(" ", render_series(f"{size}B", *zip(*points)))
+
+
+def _fig4(quick: bool = False) -> None:
+    from .experiments.characterization import computing_headroom_us
+    from .nic import LIQUIDIO_CN2350, STINGRAY_PS225
+    print("Figure 4: computing headroom (µs/packet at line rate)")
+    for spec in (LIQUIDIO_CN2350, STINGRAY_PS225):
+        print(f"  {spec.model}: "
+              f"256B={computing_headroom_us(spec, 256):.2f} "
+              f"1024B={computing_headroom_us(spec, 1024):.2f}")
+
+
+def _fig5(quick: bool = False) -> None:
+    from .experiments.characterization import traffic_manager_experiment
+    duration = 8_000.0 if quick else 25_000.0
+    print("Figure 5: avg/p99 latency at max throughput (CN2350)")
+    for size in (64, 512, 1024, 1500):
+        for cores in (6, 12):
+            p = traffic_manager_experiment(size, cores, duration_us=duration)
+            print(f"  {size:5d}B {cores:2d} cores: avg={p.avg_us:6.2f}µs "
+                  f"p99={p.p99_us:6.2f}µs")
+
+
+def _fig6(quick: bool = False) -> None:
+    from .experiments.characterization import figure6_series
+    print("Figure 6: messaging latency (µs)")
+    for name, points in figure6_series().items():
+        print(" ", render_series(name, *zip(*points)))
+
+
+def _fig7_10(quick: bool = False) -> None:
+    from .experiments.characterization import (
+        figure7_series, figure8_series, figure9_series, figure10_series)
+    for title, series in (
+        ("Figure 7: DMA latency (µs)", figure7_series()),
+        ("Figure 8: DMA throughput (Mops)", figure8_series()),
+        ("Figure 9: RDMA latency (µs)", figure9_series()),
+        ("Figure 10: RDMA throughput (Mops)", figure10_series()),
+    ):
+        print(title)
+        for name, points in series.items():
+            print(" ", render_series(name, *zip(*points)))
+
+
+def _fig13(quick: bool = False) -> None:
+    from .experiments.applications import ROLES, run_app
+    from .nic import LIQUIDIO_CN2350
+    duration = 8_000.0 if quick else 15_000.0
+    sizes = (512,) if quick else (64, 256, 512, 1024)
+    print("Figure 13: host cores used (10GbE CN2350)")
+    for size in sizes:
+        clients = 192 if size == 64 else 96
+        for system in ("dpdk", "ipipe"):
+            results = {app: run_app(system, app, packet_size=size,
+                                    clients=clients, duration_us=duration)
+                       for app in ("rta", "dt", "rkv")}
+            for role, (app, idx) in ROLES.items():
+                cores = results[app].host_cores[f"s{idx}"]
+                print(f"  {size:5d}B {system:5s} {role:15s} {cores:5.2f}")
+
+
+def _fig14(quick: bool = False) -> None:
+    from .experiments.applications import latency_throughput_curve
+    duration = 8_000.0 if quick else 12_000.0
+    clients = (2, 16) if quick else (2, 8, 24, 64)
+    print("Figure 14: latency vs per-core throughput (10GbE, 512B)")
+    for system in ("dpdk", "ipipe"):
+        for app in ("rta", "dt", "rkv"):
+            curve = latency_throughput_curve(system, app,
+                                             client_counts=clients,
+                                             duration_us=duration)
+            pts = " ".join(f"{t:.2f}Mops@{l:.1f}µs" for t, l in curve)
+            print(f"  {app}-{system}: {pts}")
+
+
+def _fig16(quick: bool = False) -> None:
+    from .experiments.scheduler_study import sweep
+    from .nic import LIQUIDIO_CN2350
+    duration = 30_000.0 if quick else 100_000.0
+    loads = (0.5, 0.9) if quick else (0.3, 0.5, 0.7, 0.9)
+    for dispersion in ("low", "high"):
+        print(f"Figure 16 ({dispersion} dispersion, CN2350): p99 (µs)")
+        results = sweep(LIQUIDIO_CN2350, dispersion, loads,
+                        duration_us=duration)
+        for policy, series in results.items():
+            print(" ", render_series(policy, [l for l, _, _ in series],
+                                     [p for _, _, p in series],
+                                     xfmt="{:.1f}"))
+
+
+def _fig17(quick: bool = False) -> None:
+    from .experiments.applications import overhead_comparison
+    duration = 8_000.0 if quick else 15_000.0
+    print("Figure 17: host-only RKV CPU with vs without iPipe")
+    for load, dpdk, ipipe in overhead_comparison(
+            load_fractions=(0.5, 1.0), duration_us=duration):
+        print(f"  load={load:.2f}: w/o iPipe {dpdk:.2f} cores, "
+              f"w/ iPipe {ipipe:.2f} cores")
+
+
+def _fig18(quick: bool = False) -> None:
+    from .experiments.migration_study import breakdown_rows, run_migration_breakdown
+    print("Figure 18: migration breakdown")
+    for row in breakdown_rows(run_migration_breakdown(warmup_us=2_000.0)):
+        print(f"  {row.actor:10s} p1={row.phase1_us:6.0f}µs "
+              f"p2={row.phase2_us:6.0f}µs p3={row.phase3_us:8.0f}µs "
+              f"p4={row.phase4_us:8.0f}µs  total={row.total_ms:.2f}ms")
+
+
+def _sec56(quick: bool = False) -> None:
+    from .experiments.netfns import floem_vs_ipipe
+    duration = 8_000.0 if quick else 12_000.0
+    for size in (1024, 64):
+        floem, ipipe = floem_vs_ipipe(packet_size=size, clients=96,
+                                      duration_us=duration)
+        print(f"§5.6 {size}B: Floem {floem.gbps_per_core:.2f} vs "
+              f"iPipe {ipipe.gbps_per_core:.2f} Gbps/core")
+
+
+def _sec57(quick: bool = False) -> None:
+    from .experiments.netfns import firewall_latency_vs_load, ipsec_goodput_gbps
+    from .nic import LIQUIDIO_CN2360
+    duration = 8_000.0 if quick else 15_000.0
+    print("§5.7 firewall (8K rules):")
+    for load, latency in firewall_latency_vs_load(duration_us=duration):
+        print(f"  load={load:.2f}: {latency:.2f}µs")
+    print(f"§5.7 IPsec: 10GbE={ipsec_goodput_gbps(duration_us=duration):.1f} "
+          f"Gbps, 25GbE={ipsec_goodput_gbps(spec=LIQUIDIO_CN2360, duration_us=duration):.1f} Gbps")
+
+
+EXPERIMENTS: Dict[str, Callable[..., None]] = {
+    "table1": lambda quick=False: _table1(),
+    "table2": lambda quick=False: _table2(),
+    "table3": lambda quick=False: _table3(),
+    "fig2": _fig2,
+    "fig3": _fig3,
+    "fig4": _fig4,
+    "fig5": _fig5,
+    "fig6": _fig6,
+    "fig7-10": _fig7_10,
+    "fig13": _fig13,
+    "fig14": _fig14,
+    "fig16": _fig16,
+    "fig17": _fig17,
+    "fig18": _fig18,
+    "sec5.6": _sec56,
+    "sec5.7": _sec57,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate tables/figures from the iPipe paper.")
+    parser.add_argument("experiments", nargs="+",
+                        help="experiment ids (see 'list'), or 'all'")
+    parser.add_argument("--quick", action="store_true",
+                        help="shorter simulations for a fast look")
+    args = parser.parse_args(argv)
+
+    if args.experiments == ["list"]:
+        for name in EXPERIMENTS:
+            print(name)
+        return 0
+    targets = (list(EXPERIMENTS) if args.experiments == ["all"]
+               else args.experiments)
+    for name in targets:
+        fn = EXPERIMENTS.get(name)
+        if fn is None:
+            print(f"unknown experiment {name!r}; try 'list'", file=sys.stderr)
+            return 2
+        fn(quick=args.quick)
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

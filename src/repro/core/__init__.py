@@ -1,0 +1,48 @@
+"""The iPipe framework: actors, hybrid scheduler, DMO, migration, channels."""
+
+from .actor import Actor, ActorTable, Location, Message, MigrationState
+from .channel import Channel, Ring, RingFullError, message_checksum
+from .dmo import Dmo, DmoError, DmoManager, ObjectTable
+from .dmo_cache import SoftwareObjectCache
+from .iokernel import IOKERNEL_DISPATCH_US, IoKernel
+from .isolation import ActorKilledError, IsolationPolicy, QuotaEnforcer, Watchdog
+from .migration import MigrationReport, Migrator
+from .runtime import ExecutionContext, IPipeRuntime
+from .telemetry import ActorSnapshot, RuntimeSnapshot, SchedulerSnapshot, snapshot
+from .scheduler import NicScheduler, SchedulerConfig, WorkItem
+from . import api
+
+__all__ = [
+    "Actor",
+    "ActorTable",
+    "Location",
+    "Message",
+    "MigrationState",
+    "Channel",
+    "Ring",
+    "RingFullError",
+    "message_checksum",
+    "Dmo",
+    "DmoError",
+    "DmoManager",
+    "ObjectTable",
+    "SoftwareObjectCache",
+    "IOKERNEL_DISPATCH_US",
+    "IoKernel",
+    "ActorKilledError",
+    "IsolationPolicy",
+    "QuotaEnforcer",
+    "Watchdog",
+    "MigrationReport",
+    "Migrator",
+    "ExecutionContext",
+    "IPipeRuntime",
+    "ActorSnapshot",
+    "RuntimeSnapshot",
+    "SchedulerSnapshot",
+    "snapshot",
+    "NicScheduler",
+    "SchedulerConfig",
+    "WorkItem",
+    "api",
+]

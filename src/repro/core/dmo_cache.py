@@ -1,0 +1,102 @@
+"""Software-managed object cache (§3.1, §4).
+
+The distributed-object abstraction "supports a software managed cache to
+mitigate the cost of SmartNIC to host communications": an actor whose
+authoritative object lives on the other side keeps a bounded local cache
+of entries, writing through asynchronously and invalidating on epoch
+bumps.  The RTA counter actor uses exactly this for its statistics (§4:
+"Counter uses a software-managed cache for statistics").
+
+The cache is a *performance* structure, not a consistency domain: entries
+carry the epoch at which they were cached, and a migration or explicit
+``invalidate_all`` bumps the epoch, making every stale entry miss.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Callable, Optional, Tuple
+
+
+class SoftwareObjectCache:
+    """Bounded LRU cache over a remote-object read/write interface.
+
+    ``fetch(key)`` pulls the authoritative value (the caller charges the
+    PCIe crossing); ``write_back(key, value)`` pushes an update.  Both are
+    injectable so the same cache runs under unit tests and inside actor
+    handlers.
+    """
+
+    def __init__(self, capacity: int = 1024,
+                 fetch: Optional[Callable[[Any], Any]] = None,
+                 write_back: Optional[Callable[[Any, Any], None]] = None):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.fetch = fetch
+        self.write_back = write_back
+        self._entries: "OrderedDict[Any, Tuple[Any, int]]" = OrderedDict()
+        self.epoch = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.write_throughs = 0
+
+    # -- reads ------------------------------------------------------------
+    def get(self, key: Any) -> Any:
+        """Cached read; falls back to ``fetch`` on miss/stale."""
+        entry = self._entries.get(key)
+        if entry is not None and entry[1] == self.epoch:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry[0]
+        self.misses += 1
+        if self.fetch is None:
+            return None
+        value = self.fetch(key)
+        self._insert(key, value)
+        return value
+
+    def peek(self, key: Any) -> Optional[Any]:
+        """Read without fetching (None on miss/stale)."""
+        entry = self._entries.get(key)
+        if entry is not None and entry[1] == self.epoch:
+            return entry[0]
+        return None
+
+    # -- writes --------------------------------------------------------------
+    def put(self, key: Any, value: Any, write_through: bool = True) -> None:
+        """Update locally; optionally push to the authoritative side."""
+        self._insert(key, value)
+        if write_through and self.write_back is not None:
+            self.write_back(key, value)
+            self.write_throughs += 1
+
+    def _insert(self, key: Any, value: Any) -> None:
+        if key in self._entries:
+            del self._entries[key]
+        while len(self._entries) >= self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+        self._entries[key] = (value, self.epoch)
+
+    # -- invalidation -----------------------------------------------------------
+    def invalidate(self, key: Any) -> None:
+        self._entries.pop(key, None)
+
+    def invalidate_all(self) -> None:
+        """Epoch bump: every cached entry becomes stale (O(1)).
+
+        Called when the backing actor migrates — the authoritative copies
+        moved across the PCIe, so locality assumptions reset.
+        """
+        self.epoch += 1
+
+    def __len__(self) -> int:
+        return sum(1 for _, (_, ep) in self._entries.items()
+                   if ep == self.epoch)
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

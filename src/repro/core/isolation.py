@@ -1,0 +1,122 @@
+"""Security isolation (§3.4): state protection and DoS containment.
+
+Two attacks are handled:
+
+* **Actor state corruption** — the DMO layer already denies cross-actor
+  object access (a software-TLB trap on LiquidIO, hardware paging under a
+  full OS).  :class:`IsolationPolicy` centralizes the accounting and the
+  firmware/OS distinction.
+* **Denial of service** — a handler that exceeds its execution budget is
+  detected by the per-core hardware timer (firmware) or a POSIX-signal
+  timeout (full OS); the runtime then deregisters the actor, removes it
+  from dispatch/runnable queues, and frees its resources.
+
+Handlers in this reproduction are cooperative generators, so "timeout"
+means the runtime checks elapsed virtual time at each yield point and
+aborts the offender — the same observable outcome as the paper's timer
+interrupt, with detection granularity of one yield.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .actor import Actor
+
+
+class ActorKilledError(Exception):
+    """Raised inside a handler aborted by the DoS watchdog."""
+
+
+@dataclass
+class IsolationPolicy:
+    """Per-deployment isolation configuration."""
+
+    #: "firmware" → software-managed TLB + hardware timer rings (LiquidIO);
+    #: "full-os"  → process address spaces + POSIX signal timeouts.
+    mode: str = "firmware"
+    #: Execution budget per handler invocation, µs.  The LiquidIO hardware
+    #: timer has 16 rings, one dedicated per core.
+    timeout_us: float = 1000.0
+    kills: List[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("firmware", "full-os"):
+            raise ValueError(f"unknown isolation mode: {self.mode}")
+        if self.timeout_us <= 0:
+            raise ValueError("timeout must be positive")
+
+    @property
+    def protection_mechanism(self) -> str:
+        return ("software-TLB trap" if self.mode == "firmware"
+                else "hardware paging")
+
+    @property
+    def timeout_mechanism(self) -> str:
+        return ("hardware timer ring" if self.mode == "firmware"
+                else "POSIX signal")
+
+
+class Watchdog:
+    """Per-core execution timer (one of the 16 LiquidIO timer rings).
+
+    The scheduler arms the watchdog before running a handler and feeds it
+    elapsed time at every yield; :meth:`expired` turning true means the
+    actor violated availability and must be deregistered.
+    """
+
+    def __init__(self, policy: IsolationPolicy):
+        self.policy = policy
+        self._armed_at: Optional[float] = None
+        self._actor: Optional[Actor] = None
+
+    def arm(self, now: float, actor: Actor) -> None:
+        self._armed_at = now
+        self._actor = actor
+
+    def disarm(self) -> None:
+        self._armed_at = None
+        self._actor = None
+
+    def expired(self, now: float) -> bool:
+        return (self._armed_at is not None
+                and now - self._armed_at > self.policy.timeout_us)
+
+    def kill(self, table) -> Optional[Actor]:
+        """Deregister the offending actor: dispatch-table removal + state
+        teardown is the caller's job via the returned actor."""
+        actor = self._actor
+        if actor is None:
+            return None
+        self.policy.kills.append(actor.name)
+        table.deregister(actor.name)
+        self.disarm()
+        return actor
+
+
+class QuotaEnforcer:
+    """Per-actor share accounting against core-hogging (fairness facet of
+    the DoS guarantee): tracks busy µs consumed per actor and flags actors
+    exceeding a configurable share of recent NIC compute."""
+
+    def __init__(self, window_us: float = 100_000.0, max_share: float = 0.9):
+        self.window_us = window_us
+        self.max_share = max_share
+        self._busy: Dict[str, float] = {}
+        self._window_start = 0.0
+
+    def charge(self, actor: str, busy_us: float, now: float) -> None:
+        if now - self._window_start > self.window_us:
+            self._busy.clear()
+            self._window_start = now
+        self._busy[actor] = self._busy.get(actor, 0.0) + busy_us
+
+    def over_quota(self, actor: str, now: float, total_cores: int) -> bool:
+        elapsed = max(now - self._window_start, 1.0)
+        capacity = elapsed * total_cores
+        return self._busy.get(actor, 0.0) > self.max_share * capacity
+
+    def share(self, actor: str, now: float, total_cores: int) -> float:
+        elapsed = max(now - self._window_start, 1.0)
+        return self._busy.get(actor, 0.0) / (elapsed * total_cores)

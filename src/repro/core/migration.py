@@ -1,0 +1,177 @@
+"""Four-phase actor migration (§3.2.5, Appendix B.3, Figure 18).
+
+Only the SmartNIC initiates migration (it is far more overload-sensitive
+than the host).  The phases:
+
+1. **Prepare** — the actor leaves the dispatcher (and the DRR runnable
+   queue); new requests are buffered by the runtime.
+2. **Drain** — the actor finishes in-flight work; a DRR actor drains its
+   whole mailbox.  Ends in the *Ready* state.
+3. **Move** — every distributed memory object migrates across the PCIe
+   (bulk DMA); the destination side registers the actor; state → *Gone*.
+   This phase dominates (≈68% of migration time in Figure 18 — the LSM
+   memtable actor's ~32MB of objects takes ~36ms).
+4. **Forward** — buffered requests are re-addressed and pushed to the new
+   side; state → *Clean*, then the actor resumes as *Running*.
+
+Pull migration (host → NIC) mirrors the same phases with the transfer
+direction reversed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..sim import Timeout
+from .actor import Actor, Location, Message, MigrationState
+
+
+@dataclass
+class MigrationReport:
+    """Per-phase elapsed time of one migration, for Figure 18."""
+
+    actor: str
+    direction: str                      # "to_host" / "to_nic"
+    phase_us: Dict[int, float] = field(default_factory=dict)
+    moved_bytes: int = 0
+    forwarded_requests: int = 0
+
+    @property
+    def total_us(self) -> float:
+        return sum(self.phase_us.values())
+
+    def share(self, phase: int) -> float:
+        return self.phase_us.get(phase, 0.0) / self.total_us if self.total_us else 0.0
+
+
+#: Runtime-lock + state-manipulation overhead of the light phases (µs).
+PREPARE_COST_US = 15.0
+READY_COST_US = 10.0
+
+
+class Migrator:
+    """Executes migrations on behalf of the scheduler's management core.
+
+    The runtime provides the integration points: draining leftover
+    requests, pricing the object move, re-registering the actor, and
+    re-forwarding buffered traffic.
+    """
+
+    def __init__(self, runtime):
+        self.runtime = runtime
+        self.reports: List[MigrationReport] = []
+
+    # -- NIC → host (push) ----------------------------------------------------
+    def migrate_to_host(self, actor: Actor):
+        """Process generator driving one push migration."""
+        if actor.location is not Location.NIC or actor.pinned:
+            return
+        sim = self.runtime.sim
+        report = MigrationReport(actor=actor.name, direction="to_host")
+
+        # Phase 1: Prepare — leave the dispatcher, start buffering.
+        t0 = sim.now
+        actor.migration_state = MigrationState.PREPARE
+        self.runtime.begin_buffering(actor)
+        if actor.is_drr:
+            actor.is_drr = False
+            scheduler = self.runtime.nic_scheduler
+            if actor in scheduler.drr_runnable:
+                scheduler.drr_runnable.remove(actor)
+        yield Timeout(PREPARE_COST_US)
+        report.phase_us[1] = sim.now - t0
+
+        # Phase 2: Drain — run out the mailbox, then Ready.
+        t0 = sim.now
+        while actor.mailbox:
+            msg = actor.mailbox.popleft()
+            yield from self.runtime.execute_for_migration(actor, msg)
+        while not actor.try_lock(-1):      # wait for in-flight handler
+            yield Timeout(1.0)
+        actor.unlock(-1)
+        actor.migration_state = MigrationState.READY
+        yield Timeout(READY_COST_US)
+        report.phase_us[2] = sim.now - t0
+
+        # Phase 3: Move objects over PCIe, start host actor, mark Gone.
+        t0 = sim.now
+        moved = self.runtime.dmo.migrate_all(actor.name, Location.HOST)
+        report.moved_bytes = moved
+        yield Timeout(self.runtime.bulk_transfer_us(moved))
+        actor.location = Location.HOST
+        actor.migration_state = MigrationState.GONE
+        report.phase_us[3] = sim.now - t0
+
+        # Phase 4: Forward buffered requests, rewrite destinations, Clean.
+        t0 = sim.now
+        buffered = self.runtime.end_buffering(actor)
+        report.forwarded_requests = len(buffered)
+        from .channel import RingFullError
+        for msg in buffered:
+            while True:
+                yield from self.runtime.channel.to_host.wait_not_full()
+                yield Timeout(
+                    self.runtime.channel.to_host.produce_cost_us(msg, batch=8))
+                try:
+                    # live forwarding traffic races us for ring slots, so
+                    # the reservation may vanish during the descriptor write
+                    self.runtime.channel.nic_send(msg)
+                    break
+                except RingFullError:
+                    continue
+        actor.migration_state = MigrationState.CLEAN
+        report.phase_us[4] = sim.now - t0
+
+        actor.migration_state = MigrationState.RUNNING
+        if hasattr(self.runtime, "update_steering"):
+            self.runtime.update_steering(actor)
+        self.reports.append(report)
+        return report
+
+    # -- host → NIC (pull) --------------------------------------------------------
+    def migrate_to_nic(self, actor: Actor):
+        """Process generator driving one pull migration."""
+        if actor.location is not Location.HOST or actor.pinned:
+            return
+        sim = self.runtime.sim
+        report = MigrationReport(actor=actor.name, direction="to_nic")
+
+        t0 = sim.now
+        actor.migration_state = MigrationState.PREPARE
+        self.runtime.begin_buffering(actor)
+        yield Timeout(PREPARE_COST_US)
+        report.phase_us[1] = sim.now - t0
+
+        t0 = sim.now
+        while actor.mailbox:
+            msg = actor.mailbox.popleft()
+            yield from self.runtime.execute_for_migration(actor, msg)
+        actor.migration_state = MigrationState.READY
+        yield Timeout(READY_COST_US)
+        report.phase_us[2] = sim.now - t0
+
+        t0 = sim.now
+        moved = self.runtime.dmo.migrate_all(actor.name, Location.NIC)
+        report.moved_bytes = moved
+        yield Timeout(self.runtime.bulk_transfer_us(moved))
+        actor.location = Location.NIC
+        actor.migration_state = MigrationState.GONE
+        report.phase_us[3] = sim.now - t0
+
+        t0 = sim.now
+        buffered = self.runtime.end_buffering(actor)
+        report.forwarded_requests = len(buffered)
+        for msg in buffered:
+            self.runtime.enqueue_nic_message(msg)
+        actor.migration_state = MigrationState.CLEAN
+        report.phase_us[4] = sim.now - t0
+
+        actor.migration_state = MigrationState.RUNNING
+        if hasattr(self.runtime, "update_steering"):
+            self.runtime.update_steering(actor)
+        self.reports.append(report)
+        return report
+
+    def last_report(self) -> Optional[MigrationReport]:
+        return self.reports[-1] if self.reports else None

@@ -1,0 +1,503 @@
+"""The iPipe runtime: NIC-side + host-side execution environment (§3).
+
+One :class:`IPipeRuntime` instance manages a single server equipped with a
+SmartNIC.  It owns:
+
+* the actor table and flow-dispatch table,
+* the DMO manager spanning NIC and host object tables,
+* the host↔NIC message channels,
+* the NIC-side hybrid scheduler (:mod:`repro.core.scheduler`) running on
+  the SmartNIC's cores,
+* host-side worker threads (one is the pinned communication thread that
+  polls the channel, per §5.5) executing host-located actors,
+* the migrator.
+
+Handlers receive an :class:`ExecutionContext` whose cost helpers resolve
+to NIC-core or host-core time depending on where the actor currently
+lives — so migrating an actor automatically re-times its execution.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Callable, Dict, List, Optional
+
+from ..host.machine import HostMachine, StorageService
+from ..host.stacks import StackCosts, ipipe_host_stack
+from ..net import Network, Packet, line_rate_pps
+from ..nic.cores import WorkloadProfile, time_on_host, time_on_nic
+from ..nic.device import SmartNic
+from ..nic.dma import DmaEngine
+from ..sim import Simulator, Store, Timeout, UtilizationTracker, spawn
+from .actor import Actor, ActorTable, Location, Message, MigrationState
+from .channel import Channel
+from .dmo import DmoManager
+from .migration import Migrator
+from .scheduler import NicScheduler, SchedulerConfig, WorkItem
+
+
+class ExecutionContext:
+    """Per-invocation services handed to an actor handler."""
+
+    def __init__(self, runtime: "IPipeRuntime", actor: Actor, core_id: int):
+        self.runtime = runtime
+        self.actor = actor
+        self.core_id = core_id
+        self.sim = runtime.sim
+
+    @property
+    def side(self) -> Location:
+        return self.actor.location
+
+    @property
+    def on_nic(self) -> bool:
+        return self.side is Location.NIC
+
+    # -- time charging ---------------------------------------------------------
+    def compute(self, us: Optional[float] = None,
+                profile: Optional[WorkloadProfile] = None,
+                scale: float = 1.0) -> Timeout:
+        """A sim command charging CPU time at the actor's current location.
+
+        ``us`` is interpreted as NIC-core (CN2350-reference) time; when the
+        actor runs on the host the charge shrinks by the workload's
+        host-speedup (computed from the profile, or a default 2.8x).
+        """
+        prof = profile or self.actor.profile
+        if us is None:
+            if prof is None:
+                raise ValueError("no cost given and actor has no profile")
+            base = prof.exec_us
+        else:
+            base = us
+        if self.on_nic:
+            factor = (time_on_nic(prof, self.runtime.nic.spec) / prof.exec_us
+                      if prof is not None else 1.0)
+        else:
+            factor = (time_on_host(prof, self.runtime.host.spec) / prof.exec_us
+                      if prof is not None else 1.0 / 2.8)
+        return Timeout(base * factor * scale)
+
+    def accelerator(self, name: str, nbytes: int = 1024, batch: int = 1):
+        """Generator charging a domain-specific accelerator invocation.
+
+        On the NIC this contends on the real engine; on the host the same
+        work runs in software at the Table-3 penalty (MD5 7x, AES 2.5x,
+        default 3x for engines the paper doesn't compare).
+        """
+        if self.on_nic:
+            yield from self.runtime.nic.accelerators.invoke(
+                name, nbytes=nbytes, batch=batch)
+        else:
+            prof = self.runtime.nic.accelerators.profile(name)
+            host_us = prof.host_software_us
+            if host_us is None:
+                host_us = prof.lat_us_b1 * 3.0
+            yield Timeout(host_us * max(nbytes, 1) / prof.reference_bytes)
+
+    def storage_read(self):
+        """Generator charging one persistent-storage read (host only)."""
+        if self.on_nic:
+            raise RuntimeError(
+                f"actor {self.actor.name!r} touched storage from the NIC; "
+                "storage-backed actors must be pinned to the host (§4)")
+        yield Timeout(self.runtime.storage.read_cost_us())
+
+    def storage_write(self, nbytes: int):
+        """Generator charging one persistent-storage append (host only)."""
+        if self.on_nic:
+            raise RuntimeError("storage writes only reach the host")
+        yield Timeout(self.runtime.storage.write_cost_us(nbytes))
+
+    # -- messaging ------------------------------------------------------------
+    def send(self, target: str, kind: str = "request", payload=None,
+             size: int = 64, packet: Optional[Packet] = None) -> None:
+        """Asynchronous message to another local actor (NIC or host)."""
+        msg = Message(target=target, kind=kind, payload=payload, size=size,
+                      source=self.actor.name, created_at=self.sim.now,
+                      packet=packet)
+        self.runtime.route_local(msg, origin=self.side)
+
+    def send_remote(self, node: str, target: str, kind: str = "request",
+                    payload=None, size: int = 64) -> None:
+        """Message to an actor on another machine (goes over the wire)."""
+        self.runtime.transmit_from(
+            self.side,
+            Packet(src=self.runtime.node_name, dst=node, size=size,
+                   kind=target, payload={"kind": kind, "payload": payload},
+                   created_at=self.sim.now))
+
+    def reply(self, msg: Message, payload=None, size: Optional[int] = None) -> None:
+        """Send the response packet back to the request's originator."""
+        if msg.packet is None:
+            raise ValueError("message did not arrive from the wire")
+        reply = msg.packet.reply(size=size, payload=payload)
+        self.runtime.transmit_from(self.side, reply)
+
+    # -- DMO API -----------------------------------------------------------------
+    def dmo_malloc(self, size: int, data=None):
+        return self.runtime.dmo.malloc(self.actor.name, size, data=data,
+                                       location=self.actor.location)
+
+    def dmo_free(self, object_id: int) -> None:
+        self.runtime.dmo.free(self.actor.name, object_id)
+
+    def dmo_read(self, object_id: int):
+        return self.runtime.dmo.read(self.actor.name, object_id)
+
+    def dmo_write(self, object_id: int, data) -> None:
+        self.runtime.dmo.write(self.actor.name, object_id, data)
+
+
+class IPipeRuntime:
+    """iPipe on one server: SmartNIC runtime + host runtime + channels."""
+
+    #: §5.5 runtime tax on host-side execution: message handling, DMO
+    #: address translation, and scheduler statistics together cost ~11-12%
+    #: extra host CPU versus a bare DPDK loop at equal throughput.
+    BOOKKEEPING_FRACTION = 0.18
+    BOOKKEEPING_FLOOR_US = 0.30
+
+    def __init__(self, sim: Simulator, nic: SmartNic, host: HostMachine,
+                 network: Network, node_name: str,
+                 config: Optional[SchedulerConfig] = None,
+                 host_workers: int = 2,
+                 host_stack: Optional[StackCosts] = None,
+                 host_only: bool = False):
+        self.sim = sim
+        #: When set, every registered actor is pinned to the host — the
+        #: §5.5 overhead experiment's "host-only iPipe" configuration.
+        self.host_only = host_only
+        self.nic = nic
+        self.host = host
+        self.network = network
+        self.node_name = node_name
+        self.config = config or SchedulerConfig()
+        self.actors = ActorTable()
+        self.dmo = DmoManager(nic.dram)
+        self.storage: StorageService = host.storage
+        self.host_stack = host_stack or ipipe_host_stack()
+
+        channel_dma = (nic.host_channel if isinstance(nic.host_channel, DmaEngine)
+                       else DmaEngine(sim))
+        self._channel_dma = channel_dma
+        self.channel = Channel(sim, channel_dma, name=f"{node_name}.chan")
+        self.dispatch_table: Dict[str, str] = {}
+        self._migration_buffers: Dict[str, List[Message]] = {}
+        self.migrator = Migrator(self)
+
+        # host-side workers: worker 0 is the pinned communication thread
+        self.host_workers = host_workers
+        self.host_queue: Store = Store(sim)
+        self.host_util: List[UtilizationTracker] = [
+            UtilizationTracker() for _ in range(host_workers)]
+        self.host_ops = 0
+        self.channel_drops = 0
+        #: host→NIC ring writes issued from host context (replies, sends);
+        #: the issuing host worker pays the descriptor-write CPU cost
+        self._host_ring_writes = 0
+        self._running = True
+        self._host_procs = [
+            spawn(sim, self._host_worker(w), name=f"{node_name}-hostw{w}")
+            for w in range(host_workers)]
+
+        nic.packet_handler = self.on_packet
+        nic.attach_network(network, node_name)
+        if not nic.spec.is_on_path:
+            # Off-path NICs steer host-bound flows through the NIC switch,
+            # bypassing NIC cores entirely (§2.1); the runtime installs a
+            # bypass rule whenever an actor lands on the host.
+            nic.set_host_receiver(self._host_direct_rx)
+        self.nic_scheduler = NicScheduler(
+            sim,
+            num_cores=nic.spec.cores,
+            work_queue=nic.traffic_manager,
+            actor_table=self.actors,
+            executor=self._nic_executor,
+            config=self.config,
+            quantum_fn=self._drr_quantum,
+            on_push_migration=self.migrator.migrate_to_host,
+            on_pull_migration=self._pull_candidate,
+            redeliver=self.deliver,
+            core_util=nic.core_util,
+        )
+
+    # -- actor lifecycle -----------------------------------------------------------
+    def register_actor(self, actor: Actor,
+                       steering_keys: Optional[List[str]] = None,
+                       region_bytes: Optional[int] = None) -> Actor:
+        """actor_create + actor_register + actor_init (Table 4)."""
+        if self.host_only:
+            actor.location = Location.HOST
+            actor.pinned = True
+        self.actors.register(actor)
+        self.dmo.create_region(actor.name,
+                               region_bytes or max(actor.state_bytes * 2, 1 << 20))
+        for key in steering_keys or [actor.name]:
+            self.dispatch_table[key] = actor.name
+        self.update_steering(actor)
+        if actor.init_handler is not None:
+            actor.init_handler(actor, ExecutionContext(self, actor, core_id=-1))
+        return actor
+
+    def delete_actor(self, name: str) -> None:
+        """actor_delete: deregister and reclaim every resource."""
+        actor = self.actors.deregister(name)
+        if actor is None:
+            return
+        sched = self.nic_scheduler
+        if actor in sched.drr_runnable:
+            sched.drr_runnable.remove(actor)
+        for key in [k for k, v in self.dispatch_table.items() if v == name]:
+            del self.dispatch_table[key]
+        self.dmo.destroy_region(name)
+
+    def stop(self) -> None:
+        self._running = False
+        self.nic_scheduler.stop()
+
+    # -- ingress -----------------------------------------------------------------
+    def on_packet(self, packet: Packet) -> None:
+        """Wire arrival → scheduler work item (runs at interrupt level)."""
+        switch = self.nic.nic_switch
+        if switch is not None:
+            # off-path: the NIC switch steers host-bound flows around the
+            # NIC cores entirely
+            if switch.rules.get(switch.classify(packet)) == "host":
+                switch.steered_host += 1
+                self._host_direct_rx(packet)
+                return
+            switch.steered_nic += 1
+        target = self.dispatch_table.get(packet.kind)
+        if target is None:
+            return  # not for us: drop (endpoint semantics)
+        payload, kind = packet.payload, packet.kind
+        if isinstance(payload, dict) and "kind" in payload and "payload" in payload:
+            kind, payload = payload["kind"], payload["payload"]
+        msg = Message(target=target, kind=kind, payload=payload,
+                      size=packet.size, source=packet.src,
+                      created_at=packet.created_at, packet=packet)
+        msg.meta["nic_arrival"] = self.sim.now
+        self.deliver(msg)
+
+    def deliver(self, msg: Message) -> None:
+        """Route a message to its actor's current location."""
+        actor = self.actors.lookup(msg.target)
+        if actor is None:
+            return
+        if actor.migration_state in (MigrationState.PREPARE, MigrationState.READY):
+            self._migration_buffers.setdefault(actor.name, []).append(msg)
+            return
+        if actor.location is Location.HOST:
+            # NIC core work: forwarding + channel DMA issue
+            cost = (self.nic.forward_cost(msg.size)
+                    + self.channel.to_host.produce_cost_us(msg, batch=8))
+            self.nic.traffic_manager.push(WorkItem(
+                forward_cost_us=cost,
+                forward_action=lambda m=msg: self._nic_send_or_drop(m),
+                arrived_at=msg.meta.get("nic_arrival", self.sim.now)))
+        else:
+            self.enqueue_nic_message(msg)
+
+    def _host_direct_rx(self, packet: Packet) -> None:
+        """Off-path bypass delivery: the NIC switch DMAs straight to host
+        rings without touching NIC cores."""
+        target = self.dispatch_table.get(packet.kind)
+        if target is None:
+            return
+        payload, kind = packet.payload, packet.kind
+        if isinstance(payload, dict) and "kind" in payload and "payload" in payload:
+            kind, payload = payload["kind"], payload["payload"]
+        msg = Message(target=target, kind=kind, payload=payload,
+                      size=packet.size, source=packet.src,
+                      created_at=packet.created_at, packet=packet)
+        msg.meta["nic_arrival"] = self.sim.now
+        self.host_queue.put_nowait(msg)
+
+    def update_steering(self, actor: Actor) -> None:
+        """Refresh the off-path NIC switch rules to match the actor's
+        current location (install bypass for host actors)."""
+        switch = self.nic.nic_switch
+        if switch is None:
+            return
+        keys = [k for k, v in self.dispatch_table.items() if v == actor.name]
+        for key in keys:
+            if actor.location is Location.HOST:
+                switch.install_rule(key, "host")
+            else:
+                switch.remove_rule(key)
+
+    def _nic_send_or_drop(self, msg: Message) -> None:
+        """Cross the NIC→host ring; a full ring drops the packet, exactly
+        as a full descriptor ring does on real hardware."""
+        from .channel import RingFullError
+        try:
+            self.channel.nic_send(msg)
+        except RingFullError:
+            self.channel_drops += 1
+
+    def enqueue_nic_message(self, msg: Message) -> None:
+        self.nic.traffic_manager.push(WorkItem(
+            message=msg,
+            arrived_at=msg.meta.get("nic_arrival", self.sim.now)))
+
+    def route_local(self, msg: Message, origin: Location) -> None:
+        """Actor→actor message within this server."""
+        actor = self.actors.lookup(msg.target)
+        if actor is None:
+            return
+        msg.meta["nic_arrival"] = self.sim.now
+        if actor.location is Location.HOST and origin is Location.HOST:
+            self.host_queue.put_nowait(msg)
+        elif actor.location is Location.HOST:
+            self.deliver(msg)
+        elif origin is Location.HOST:
+            # host → NIC actor: cross the channel, then schedule on the NIC
+            self._host_ring_writes += 1
+            self.channel.host_send(msg)
+            delay = self.channel.to_nic.transfer_delay_us(msg)
+            self.sim.call_in(delay, self._nic_channel_arrival, msg)
+        else:
+            self.enqueue_nic_message(msg)
+
+    def _nic_channel_arrival(self, msg: Message) -> None:
+        polled = self.channel.nic_poll()
+        if polled is not None:
+            self.enqueue_nic_message(polled)
+        elif len(self.channel.to_nic):
+            # head slot's DMA still in flight (slots are visible strictly
+            # in ring order): retry shortly
+            self.sim.call_in(1.0, self._nic_channel_arrival, msg)
+
+    # -- egress ---------------------------------------------------------------------
+    def transmit_from(self, side: Location, packet: Packet) -> None:
+        """Send a packet to the wire from NIC or host context.
+
+        Host-originated frames pay the channel crossing plus a forwarding
+        work item on a NIC core (on-path NICs convey *all* traffic through
+        their cores).
+        """
+        if side is Location.NIC:
+            self.nic.transmit(packet)
+        else:
+            carrier = Message(target="__tx__", payload=packet,
+                              size=packet.size, created_at=self.sim.now)
+            self._host_ring_writes += 1
+            delay = self.channel.to_nic.transfer_delay_us(carrier)
+            self.sim.call_in(delay, self._host_tx_arrival, packet)
+
+    def _host_tx_arrival(self, packet: Packet) -> None:
+        self.nic.traffic_manager.push(WorkItem(
+            forward_cost_us=self.nic.forward_cost(packet.size),
+            forward_action=lambda p=packet: self.nic.transmit(p),
+            arrived_at=self.sim.now))
+
+    # -- NIC-side handler execution ------------------------------------------------
+    def _nic_executor(self, core_id: int, actor: Actor, msg: Message):
+        ctx = ExecutionContext(self, actor, core_id)
+        yield from self._drive(actor, msg, ctx)
+
+    def _drive(self, actor: Actor, msg: Message, ctx: ExecutionContext):
+        result = actor.exec_handler(actor, msg, ctx)
+        if inspect.isgenerator(result):
+            yield from result
+        elif actor.profile is not None:
+            yield ctx.compute(profile=actor.profile)
+
+    def execute_for_migration(self, actor: Actor, msg: Message):
+        """Drain-phase execution on the management core."""
+        ctx = ExecutionContext(self, actor, core_id=0)
+        yield from self._drive(actor, msg, ctx)
+
+    # -- migration integration ------------------------------------------------------
+    def begin_buffering(self, actor: Actor) -> None:
+        self._migration_buffers.setdefault(actor.name, [])
+
+    def end_buffering(self, actor: Actor) -> List[Message]:
+        return self._migration_buffers.pop(actor.name, [])
+
+    def bulk_transfer_us(self, nbytes: int) -> float:
+        return self._channel_dma.bulk_transfer_us(nbytes)
+
+    def _pull_candidate(self):
+        candidates = [a for a in self.actors
+                      if a.schedulable and a.location is Location.HOST
+                      and not a.pinned and a.requests_seen > 10]
+        if not candidates:
+            return None
+        elapsed = max(self.sim.now, 1.0)
+        lightest = min(candidates, key=lambda a: a.load(elapsed))
+        return self.migrator.migrate_to_nic(lightest)
+
+    def _drr_quantum(self, actor: Actor) -> float:
+        """Quantum = max tolerated forwarding latency for the actor's
+        average request size (§3.2.2), i.e. the Figure-4 headroom."""
+        size = int(actor.request_bytes_ewma) or 512
+        spec = self.nic.spec
+        rate_pp_us = line_rate_pps(spec.bandwidth_gbps, size) / 1e6
+        headroom = spec.cores / rate_pp_us - self.nic.forward_cost(size)
+        return max(headroom, 1.0)
+
+    # -- host-side workers --------------------------------------------------------------
+    def _host_worker(self, worker_id: int):
+        """Host runtime thread: "each runtime thread periodically polls
+        requests from the channel and performs actor execution" (§5.1).
+        The run queue takes priority; an idle worker polls the ring."""
+        while self._running:
+            busy_start = self.sim.now
+            msg = self.host_queue.try_get_nowait()
+            if msg is None:
+                polled = self.channel.host_poll()
+                if polled is not None:
+                    rx = self.host_stack.rx_cost(polled.size)
+                    yield Timeout(rx)
+                    self.host_util[worker_id].add_busy(rx)
+                    self.host_queue.put_nowait(polled)
+                    continue
+                yield Timeout(0.5)
+                continue
+            actor = self.actors.lookup(msg.target)
+            if actor is None or not actor.schedulable:
+                continue
+            if actor.migration_state in (MigrationState.PREPARE,
+                                         MigrationState.READY):
+                self._migration_buffers.setdefault(actor.name, []).append(msg)
+                continue
+            if actor.location is Location.NIC:
+                self.route_local(msg, origin=Location.HOST)
+                continue
+            if not actor.try_lock(1000 + worker_id):
+                actor.mailbox.append(msg)
+                continue
+            try:
+                start = self.sim.now
+                tx_before = self._host_ring_writes
+                ctx = ExecutionContext(self, actor, core_id=1000 + worker_id)
+                yield from self._drive(actor, msg, ctx)
+                while actor.mailbox:
+                    queued = actor.mailbox.popleft()
+                    yield from self._drive(actor, queued, ctx)
+                # host→NIC sends made by the handler (replies, messages)
+                # cost ring-descriptor writes on this worker
+                tx_delta = self._host_ring_writes - tx_before
+                if tx_delta:
+                    yield Timeout(tx_delta * self.host_stack.tx_cost(msg.size))
+                # §5.5 runtime tax: DMO translation + scheduler bookkeeping
+                handler_busy = self.sim.now - start
+                yield Timeout(self.BOOKKEEPING_FRACTION * handler_busy
+                              + self.BOOKKEEPING_FLOOR_US)
+                busy = self.sim.now - start
+            finally:
+                actor.unlock(1000 + worker_id)
+            self.host_util[worker_id].add_busy(busy)
+            actor.record_execution(
+                self.sim.now - msg.meta.get("nic_arrival", msg.created_at),
+                msg.size, service_us=busy)
+            self.host_ops += 1
+
+    # -- metrics -----------------------------------------------------------------------
+    def host_cores_used(self, elapsed_us: float) -> float:
+        return sum(u.utilization(elapsed_us) for u in self.host_util)
+
+    def nic_cores_used(self, elapsed_us: float) -> float:
+        return self.nic.cores_used(elapsed_us)

@@ -1,0 +1,22 @@
+"""Experiment harnesses: one module per paper table/figure.
+
+* ``characterization`` — §2 (Tables 1-3, Figures 2-10)
+* ``scheduler_study`` — §5.4 (Figure 16)
+* ``applications`` — §5.2/5.3/5.5 (Figures 13-15, 17)
+* ``migration_study`` — Appendix B.3 (Figure 18)
+* ``netfns`` — §5.6 (Floem) and §5.7 (firewall, IPsec)
+* ``testbed`` — rack assembly shared by all of the above
+* ``report`` — plain-text table/series rendering
+"""
+
+from .testbed import ClientPort, Server, Testbed, make_testbed
+from .report import render_series, render_table
+
+__all__ = [
+    "ClientPort",
+    "Server",
+    "Testbed",
+    "make_testbed",
+    "render_series",
+    "render_table",
+]

@@ -1,0 +1,270 @@
+"""Application experiments: Figures 13–15, 17 and §5.6/§5.7.
+
+Deployments mirror §5.1: each application runs on three servers behind
+one ToR switch — the RTA worker on each server, DT coordinator on one
+server with participants on two, RKV leader plus two followers — with a
+client box running the closed-loop workload generator.
+
+Two systems share the identical application wiring classes:
+
+* ``ipipe`` — SmartNIC servers running the full runtime;
+* ``dpdk``  — host-only servers behind dumb NICs (the baseline).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..apps.dt import DtCoordinatorNode, DtParticipantNode
+from ..apps.rkv import RkvNode
+from ..apps.rta import RtaWorkerNode
+from ..baselines import DpdkRuntime, FloemRuntime
+from ..core import SchedulerConfig
+from ..core.actor import Location
+from ..host import HostMachine
+from ..net import ClosedLoopGenerator, Network
+from ..nic import (
+    LIQUIDIO_CN2350,
+    LIQUIDIO_CN2360,
+    NicSpec,
+    SmartNic,
+    host_for,
+)
+from ..core.runtime import IPipeRuntime
+from ..sim import Rng, Simulator
+from ..workloads import KvWorkload, TwitterWorkload, TxnWorkload
+
+APPS = ("rta", "dt", "rkv")
+#: Figure 13's five measured roles → (app, server index).
+ROLES = {
+    "rta-worker": ("rta", 0),
+    "dt-coordinator": ("dt", 0),
+    "dt-participant": ("dt", 1),
+    "rkv-leader": ("rkv", 0),
+    "rkv-follower": ("rkv", 1),
+}
+PACKET_SIZES = (64, 256, 512, 1024)
+
+
+@dataclass
+class AppRunResult:
+    """Measured outcome of one (system, app, size) deployment."""
+
+    system: str
+    app: str
+    nic_model: str
+    packet_size: int
+    duration_us: float
+    completed: int
+    mean_latency_us: float
+    p99_latency_us: float
+    host_cores: Dict[str, float]        # per server
+    nic_cores: Dict[str, float]
+
+    @property
+    def throughput_mops(self) -> float:
+        return self.completed / self.duration_us
+
+    def per_core_tput(self, server: str) -> float:
+        cores = max(self.host_cores.get(server, 0.0), 0.05)
+        return self.throughput_mops / cores
+
+
+def _make_runtime(system: str, sim: Simulator, network: Network, name: str,
+                  nic_spec: NicSpec, host_workers: Optional[int] = None):
+    host = HostMachine(sim, host_for(nic_spec), name=name)
+    if host_workers is None:
+        host_workers = host_for(nic_spec).cores
+    if system == "ipipe":
+        nic = SmartNic(sim, nic_spec, name=f"{name}.nic")
+        return IPipeRuntime(sim, nic, host, network, name,
+                            config=SchedulerConfig(),
+                            host_workers=host_workers)
+    if system == "ipipe-hostonly":
+        nic = SmartNic(sim, nic_spec, name=f"{name}.nic")
+        return IPipeRuntime(sim, nic, host, network, name,
+                            config=SchedulerConfig(migration_enabled=False),
+                            host_workers=host_workers, host_only=True)
+    if system == "floem":
+        nic = SmartNic(sim, nic_spec, name=f"{name}.nic")
+        return FloemRuntime(sim, nic, host, network, name,
+                            host_workers=host_workers)
+    if system == "dpdk":
+        return DpdkRuntime(sim, host, network, name, workers=host_workers,
+                           link_bandwidth_gbps=nic_spec.bandwidth_gbps)
+    raise ValueError(f"unknown system {system!r}")
+
+
+def _deploy(system: str, app: str, sim: Simulator, network: Network,
+            nic_spec: NicSpec, packet_size: int, prefill_keys: int = 4000):
+    """Build the 3-server deployment; returns (runtimes, workload, dst)."""
+    names = [f"s{i}" for i in range(3)]
+    runtimes = {n: _make_runtime(system, sim, network, n, nic_spec)
+                for n in names}
+    if app == "rta":
+        for n in names:
+            RtaWorkerNode(runtimes[n], aggregate_node=names[0])
+        workload = TwitterWorkload(packet_size=packet_size)
+    elif app == "dt":
+        DtCoordinatorNode(runtimes[names[0]], [names[1], names[2]])
+        DtParticipantNode(runtimes[names[1]])
+        DtParticipantNode(runtimes[names[2]])
+        workload = TxnWorkload(packet_size=packet_size)
+    elif app == "rkv":
+        workload = KvWorkload(packet_size=packet_size)
+        for n in names:
+            node = RkvNode(runtimes[n], [p for p in names if p != n],
+                           initial_leader=names[0])
+            # steady state: the hottest keys are memtable-resident (the
+            # paper measures warmed-up systems)
+            node.prefill(prefill_keys, workload.value_bytes)
+    else:
+        raise ValueError(f"unknown app {app!r}")
+    return runtimes, workload
+
+
+def _route_payload(payload: Dict) -> str:
+    return payload["kind"]
+
+
+def run_app(system: str, app: str, nic_spec: NicSpec = LIQUIDIO_CN2350,
+            packet_size: int = 512, clients: int = 48,
+            duration_us: float = 20_000.0, seed: int = 5,
+            warmup_fraction: float = 0.25,
+            prefill_keys: int = 4000) -> AppRunResult:
+    """One deployment driven closed-loop at its natural max throughput."""
+    sim = Simulator()
+    network = Network(sim, bandwidth_gbps=nic_spec.bandwidth_gbps)
+    runtimes, workload = _deploy(system, app, sim, network, nic_spec,
+                                 packet_size, prefill_keys=prefill_keys)
+
+    gen = ClosedLoopGenerator(
+        sim, send=network.send, src="client", dst="s0",
+        clients=clients, size=packet_size,
+        payload_factory=lambda i: workload.next_request(i),
+        rng=Rng(seed))
+    network.attach("client", gen.on_reply)
+
+    # requests carry their own routing kind in the payload
+    for runtime in runtimes.values():
+        original = runtime.on_packet
+
+        def routed(packet, original=original):
+            if isinstance(packet.payload, dict) and "kind" in packet.payload \
+                    and "payload" not in packet.payload:
+                packet.kind = packet.payload["kind"]
+            original(packet)
+
+        if hasattr(runtime, "nic") and hasattr(runtime.nic, "packet_handler") \
+                and not isinstance(runtime, DpdkRuntime):
+            runtime.nic.packet_handler = routed
+        else:
+            network.switch._egress[runtime.node_name].receiver = routed
+
+    warmup = duration_us * warmup_fraction
+    sim.run(until=warmup)
+    base_completed = gen.completed
+    # reset utilization accounting at the measurement window start
+    for runtime in runtimes.values():
+        for tracker in runtime.host_util:
+            tracker.busy_time = 0.0
+        if hasattr(runtime, "nic") and not isinstance(runtime, DpdkRuntime):
+            for tracker in runtime.nic.core_util:
+                tracker.busy_time = 0.0
+    gen.latency.samples.clear()
+    sim.run(until=duration_us)
+    gen.stop()
+    for runtime in runtimes.values():
+        runtime.stop()
+
+    window = duration_us - warmup
+    host_cores = {n: rt.host_cores_used(window) for n, rt in runtimes.items()}
+    nic_cores = {
+        n: (rt.nic.cores_used(window)
+            if hasattr(rt, "nic") and not isinstance(rt, DpdkRuntime) else 0.0)
+        for n, rt in runtimes.items()
+    }
+    return AppRunResult(
+        system=system, app=app, nic_model=nic_spec.model,
+        packet_size=packet_size, duration_us=window,
+        completed=gen.completed - base_completed,
+        mean_latency_us=gen.latency.mean,
+        p99_latency_us=gen.latency.p99,
+        host_cores=host_cores, nic_cores=nic_cores)
+
+
+# -- Figure 13: host cores used at max throughput ------------------------------------
+
+def figure13_cell(system: str, role: str, nic_spec: NicSpec,
+                  packet_size: int, **kwargs) -> float:
+    """Host cores used on the role's server."""
+    app, server_idx = ROLES[role]
+    result = run_app(system, app, nic_spec=nic_spec,
+                     packet_size=packet_size, **kwargs)
+    return result.host_cores[f"s{server_idx}"]
+
+
+def figure13_sweep(nic_spec: NicSpec = LIQUIDIO_CN2360,
+                   sizes: Sequence[int] = PACKET_SIZES,
+                   roles: Sequence[str] = tuple(ROLES),
+                   **kwargs) -> Dict[str, Dict[Tuple[str, int], float]]:
+    """system → {(role, size): host cores}."""
+    out: Dict[str, Dict[Tuple[str, int], float]] = {"dpdk": {}, "ipipe": {}}
+    cache: Dict[Tuple[str, str, int], AppRunResult] = {}
+    for system in ("dpdk", "ipipe"):
+        for role in roles:
+            app, server_idx = ROLES[role]
+            for size in sizes:
+                key = (system, app, size)
+                if key not in cache:
+                    cache[key] = run_app(system, app, nic_spec=nic_spec,
+                                         packet_size=size, **kwargs)
+                out[system][(role, size)] = cache[key].host_cores[f"s{server_idx}"]
+    return out
+
+
+# -- Figures 14/15: latency vs per-core throughput ---------------------------------------
+
+def latency_throughput_curve(system: str, app: str,
+                             nic_spec: NicSpec = LIQUIDIO_CN2350,
+                             packet_size: int = 512,
+                             client_counts: Sequence[int] = (1, 2, 4, 8, 16, 32, 64),
+                             **kwargs) -> List[Tuple[float, float]]:
+    """[(per-core Mops, mean latency µs)] for the measured role's server."""
+    measured_server = "s0"   # RTA worker / DT coordinator / RKV leader
+    curve = []
+    for clients in client_counts:
+        result = run_app(system, app, nic_spec=nic_spec,
+                         packet_size=packet_size, clients=clients, **kwargs)
+        curve.append((result.per_core_tput(measured_server),
+                      result.mean_latency_us))
+    return curve
+
+
+# -- Figure 17: iPipe host-only overhead --------------------------------------------------
+
+def overhead_comparison(load_fractions: Sequence[float] = (0.15, 0.25, 0.35),
+                        packet_size: int = 512,
+                        duration_us: float = 20_000.0,
+                        base_clients: int = 16) -> List[Tuple[float, float, float]]:
+    """[(load, dpdk host µs/op, ipipe-host-only host µs/op)].
+
+    Both deployments are host-only RKV (iPipe with every actor pinned to
+    the host); loads are fractions of the closed-loop maximum, kept below
+    saturation, and the metric is host CPU per completed operation — the
+    "same throughput" normalization §5.5 uses.
+    """
+    rows = []
+    for frac in load_fractions:
+        clients = max(1, int(base_clients * frac))
+        dpdk = run_app("dpdk", "rkv", packet_size=packet_size,
+                       clients=clients, duration_us=duration_us)
+        ipipe = run_app("ipipe-hostonly", "rkv", packet_size=packet_size,
+                        clients=clients, duration_us=duration_us)
+        rows.append((
+            frac,
+            dpdk.host_cores["s0"] / max(dpdk.throughput_mops, 1e-9),
+            ipipe.host_cores["s0"] / max(ipipe.throughput_mops, 1e-9),
+        ))
+    return rows

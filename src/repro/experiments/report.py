@@ -1,0 +1,35 @@
+"""Tiny plain-text table/series rendering for bench output.
+
+The benchmark harnesses print the same rows/series the paper's tables and
+figures report; these helpers keep that output aligned and greppable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def render_table(rows: Sequence[Sequence[str]], title: str = "") -> str:
+    """Fixed-width table from rows of strings (first row = header)."""
+    if not rows:
+        return title
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells if i < len(row))
+              for i in range(max(len(r) for r in cells))]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for idx, row in enumerate(cells):
+        line = "  ".join(c.ljust(widths[i]) for i, c in enumerate(row))
+        lines.append(line.rstrip())
+        if idx == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def render_series(name: str, xs: Iterable, ys: Iterable,
+                  xfmt: str = "{}", yfmt: str = "{:.2f}") -> str:
+    """One figure series as 'name: x=y x=y ...'."""
+    pairs = " ".join(
+        f"{xfmt.format(x)}={yfmt.format(y)}" for x, y in zip(xs, ys))
+    return f"{name}: {pairs}"

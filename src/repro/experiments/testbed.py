@@ -1,0 +1,99 @@
+"""Testbed assembly helpers: servers with SmartNICs, clients, clusters.
+
+Mirrors the paper's 8-node testbed (§2.2.1/§5.1): Supermicro servers with
+a SmartNIC each behind one ToR switch, plus client boxes with dumb NICs
+running the workload generator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..core import IPipeRuntime, SchedulerConfig
+from ..host import HostMachine
+from ..net import ClosedLoopGenerator, Network, OpenLoopGenerator, Packet
+from ..nic import LIQUIDIO_CN2350, NicSpec, SmartNic, host_for
+from ..sim import Rng, Simulator
+
+
+@dataclass
+class Server:
+    """One server box: host machine + SmartNIC + iPipe runtime."""
+
+    name: str
+    nic: SmartNic
+    machine: HostMachine
+    runtime: IPipeRuntime
+
+
+@dataclass
+class Testbed:
+    """A simulated rack: one switch, servers, and client endpoints."""
+
+    sim: Simulator
+    network: Network
+    servers: Dict[str, Server] = field(default_factory=dict)
+    client_receivers: Dict[str, Callable[[Packet], None]] = field(default_factory=dict)
+
+    def server(self, name: str) -> Server:
+        return self.servers[name]
+
+    def add_server(self, name: str, nic_spec: NicSpec = LIQUIDIO_CN2350,
+                   config: Optional[SchedulerConfig] = None,
+                   host_workers: int = 4,
+                   host_cores: Optional[int] = None) -> Server:
+        nic = SmartNic(self.sim, nic_spec, name=f"{name}.nic")
+        machine = HostMachine(self.sim, host_for(nic_spec), name=name,
+                              cores=host_cores or host_for(nic_spec).cores)
+        runtime = IPipeRuntime(self.sim, nic, machine, self.network, name,
+                               config=config, host_workers=host_workers)
+        server = Server(name=name, nic=nic, machine=machine, runtime=runtime)
+        self.servers[name] = server
+        return server
+
+    def add_client(self, name: str) -> "ClientPort":
+        """A client box with a dumb NIC (Intel XL710-style endpoint)."""
+        port = ClientPort(self, name)
+        self.network.attach(name, port.receive)
+        return port
+
+
+class ClientPort:
+    """Receive demux for a client node: routes replies to generators."""
+
+    def __init__(self, testbed: Testbed, name: str):
+        self.testbed = testbed
+        self.name = name
+        self._generators: List[ClosedLoopGenerator] = []
+        self.received: int = 0
+
+    def receive(self, packet: Packet) -> None:
+        self.received += 1
+        for gen in self._generators:
+            gen.on_reply(packet)
+
+    def closed_loop(self, dst: str, clients: int, size: int,
+                    payload_factory=None, rng: Optional[Rng] = None,
+                    think_time_us: float = 0.0) -> ClosedLoopGenerator:
+        gen = ClosedLoopGenerator(
+            self.testbed.sim, send=self.testbed.network.send,
+            src=self.name, dst=dst, clients=clients, size=size,
+            payload_factory=payload_factory, rng=rng,
+            think_time_us=think_time_us)
+        self._generators.append(gen)
+        return gen
+
+    def open_loop(self, dst: str, rate_mpps: float, size: int,
+                  payload_factory=None, rng: Optional[Rng] = None,
+                  poisson: bool = True) -> OpenLoopGenerator:
+        return OpenLoopGenerator(
+            self.testbed.sim, send=self.testbed.network.send,
+            src=self.name, dst=dst, rate_mpps=rate_mpps, size=size,
+            payload_factory=payload_factory, rng=rng, poisson=poisson)
+
+
+def make_testbed(bandwidth_gbps: float = 10, seed: int = 42) -> Testbed:
+    sim = Simulator()
+    network = Network(sim, bandwidth_gbps=bandwidth_gbps)
+    return Testbed(sim=sim, network=network)

@@ -1,0 +1,16 @@
+"""Host server models: core pools, storage, kernel-bypass stack costs."""
+
+from .machine import HostCorePool, HostMachine, Job, StorageService
+from .stacks import DPDK_BATCH_DISCOUNT, POLL_COST_US, StackCosts, dpdk_stack, ipipe_host_stack
+
+__all__ = [
+    "HostCorePool",
+    "HostMachine",
+    "Job",
+    "StorageService",
+    "DPDK_BATCH_DISCOUNT",
+    "POLL_COST_US",
+    "StackCosts",
+    "dpdk_stack",
+    "ipipe_host_stack",
+]

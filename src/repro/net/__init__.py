@@ -1,0 +1,38 @@
+"""Network substrate: packets, links, ToR switch, traffic generators."""
+
+from .packet import (
+    FCS_BYTES,
+    IFG_BYTES,
+    MIN_FRAME,
+    MTU_FRAME,
+    PREAMBLE_BYTES,
+    WIRE_OVERHEAD_BYTES,
+    Packet,
+    line_rate_pp_us,
+    line_rate_pps,
+    serialization_delay_us,
+    wire_bits,
+)
+from .link import DuplexPort, Link
+from .switch import Network, ToRSwitch
+from .pktgen import ClosedLoopGenerator, OpenLoopGenerator
+
+__all__ = [
+    "FCS_BYTES",
+    "IFG_BYTES",
+    "MIN_FRAME",
+    "MTU_FRAME",
+    "PREAMBLE_BYTES",
+    "WIRE_OVERHEAD_BYTES",
+    "Packet",
+    "line_rate_pp_us",
+    "line_rate_pps",
+    "serialization_delay_us",
+    "wire_bits",
+    "DuplexPort",
+    "Link",
+    "Network",
+    "ToRSwitch",
+    "ClosedLoopGenerator",
+    "OpenLoopGenerator",
+]

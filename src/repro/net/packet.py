@@ -1,0 +1,87 @@
+"""Packets and Ethernet framing arithmetic.
+
+Sizes follow the paper's convention: a "packet size" is the Ethernet frame
+size (header + payload + trailer, e.g. 64B minimum, 1500B ≈ MTU).  On the
+wire each frame additionally pays preamble (8B), inter-frame gap (12B) and
+is accounted with its FCS; line-rate math must include that 20–24B
+overhead, which is why 10GbE carries ~14.88 Mpps of 64B frames.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+#: Ethernet preamble + start frame delimiter.
+PREAMBLE_BYTES = 8
+#: Minimum inter-frame gap.
+IFG_BYTES = 12
+#: Frame check sequence — already included in the quoted frame size
+#: (a "64B packet" is 64 bytes incl. FCS, hence 84B on the wire).
+FCS_BYTES = 4
+#: Per-frame wire overhead beyond the quoted frame size.
+WIRE_OVERHEAD_BYTES = PREAMBLE_BYTES + IFG_BYTES
+
+MIN_FRAME = 64
+MTU_FRAME = 1500
+
+_packet_ids = itertools.count()
+
+
+def wire_bits(frame_bytes: int) -> int:
+    """Bits a frame occupies on the wire, including preamble/IFG/FCS."""
+    return (frame_bytes + WIRE_OVERHEAD_BYTES) * 8
+
+
+def line_rate_pps(bandwidth_gbps: float, frame_bytes: int) -> float:
+    """Packets per second a link sustains at the given frame size."""
+    return bandwidth_gbps * 1e9 / wire_bits(frame_bytes)
+
+
+def line_rate_pp_us(bandwidth_gbps: float, frame_bytes: int) -> float:
+    """Packets per microsecond at line rate (convenient for the DES)."""
+    return line_rate_pps(bandwidth_gbps, frame_bytes) / 1e6
+
+
+def serialization_delay_us(bandwidth_gbps: float, frame_bytes: int) -> float:
+    """Time to clock one frame onto the wire, in microseconds."""
+    return wire_bits(frame_bytes) / (bandwidth_gbps * 1e9) * 1e6
+
+
+@dataclass
+class Packet:
+    """A simulated network packet.
+
+    ``payload`` carries the application-level request object (functional
+    state, inspected by actor handlers); ``size`` drives all timing.
+    """
+
+    src: str
+    dst: str
+    size: int
+    flow_id: int = 0
+    payload: Any = None
+    kind: str = "data"
+    created_at: float = 0.0
+    meta: Dict[str, Any] = field(default_factory=dict)
+    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+
+    def __post_init__(self) -> None:
+        if self.size < MIN_FRAME:
+            # Short frames are padded to the Ethernet minimum on the wire.
+            self.size = MIN_FRAME
+
+    def reply(self, size: Optional[int] = None, payload: Any = None,
+              kind: str = "reply") -> "Packet":
+        """Build a response packet heading back to this packet's source."""
+        return Packet(
+            src=self.dst,
+            dst=self.src,
+            size=size if size is not None else self.size,
+            flow_id=self.flow_id,
+            payload=payload,
+            kind=kind,
+            created_at=self.created_at,
+            meta=dict(self.meta),
+        )

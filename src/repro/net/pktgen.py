@@ -1,0 +1,137 @@
+"""Workload traffic generators, mirroring the paper's augmented DPDK pkt-gen.
+
+Two modes, matching the evaluation methodology:
+
+* :class:`OpenLoopGenerator` — Poisson arrivals at a target rate, used for
+  the characterization and scheduler experiments (§2.2, §5.4).
+* :class:`ClosedLoopGenerator` — N logical clients, each with at most one
+  outstanding request (§5.1: "invokes operations in a closed-loop manner").
+
+Generators stamp packets with their creation time so end-to-end latency can
+be measured at the point the reply returns.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from ..sim import LatencyRecorder, Rng, Simulator, Timeout, spawn
+from .packet import Packet
+
+PayloadFactory = Callable[[int], Any]
+SendFn = Callable[[Packet], None]
+
+
+class OpenLoopGenerator:
+    """Poisson (or deterministic) open-loop source of request packets."""
+
+    def __init__(self, sim: Simulator, send: SendFn, src: str, dst: str,
+                 rate_mpps: float, size: int,
+                 payload_factory: Optional[PayloadFactory] = None,
+                 rng: Optional[Rng] = None, poisson: bool = True,
+                 flow_count: int = 16):
+        if rate_mpps <= 0:
+            raise ValueError("rate must be positive")
+        self.sim = sim
+        self.send = send
+        self.src = src
+        self.dst = dst
+        self.rate_per_us = rate_mpps  # 1 Mpps == 1 packet/µs
+        self.size = size
+        self.payload_factory = payload_factory
+        self.rng = rng or Rng(1)
+        self.poisson = poisson
+        self.flow_count = flow_count
+        self.sent = 0
+        self._stop = False
+        self._process = spawn(sim, self._run(), name=f"pktgen-{src}")
+
+    def stop(self) -> None:
+        self._stop = True
+
+    def _next_gap(self) -> float:
+        if self.poisson:
+            return self.rng.poisson_interarrival(self.rate_per_us)
+        return 1.0 / self.rate_per_us
+
+    def _run(self):
+        while not self._stop:
+            yield Timeout(self._next_gap())
+            if self._stop:
+                break
+            payload = (self.payload_factory(self.sent)
+                       if self.payload_factory else None)
+            packet = Packet(
+                src=self.src, dst=self.dst, size=self.size,
+                flow_id=self.sent % self.flow_count,
+                payload=payload, created_at=self.sim.now,
+            )
+            self.send(packet)
+            self.sent += 1
+
+
+class ClosedLoopGenerator:
+    """N clients, one outstanding request each; records reply latency.
+
+    The destination is expected to eventually cause a reply packet to be
+    routed back to ``src``; wire :meth:`on_reply` into the client node's
+    receive path.
+    """
+
+    def __init__(self, sim: Simulator, send: SendFn, src: str, dst: str,
+                 clients: int, size: int,
+                 payload_factory: Optional[PayloadFactory] = None,
+                 rng: Optional[Rng] = None, think_time_us: float = 0.0):
+        if clients <= 0:
+            raise ValueError("need at least one client")
+        self.sim = sim
+        self.send = send
+        self.src = src
+        self.dst = dst
+        self.clients = clients
+        self.size = size
+        self.payload_factory = payload_factory
+        self.rng = rng or Rng(2)
+        self.think_time_us = think_time_us
+        self.latency = LatencyRecorder(f"{src}->{dst}")
+        self.completed = 0
+        self.sent = 0
+        self._stop = False
+        self._pending: dict = {}
+        for client in range(clients):
+            spawn(sim, self._client(client), name=f"client-{src}-{client}")
+
+    def stop(self) -> None:
+        self._stop = True
+
+    def throughput_mpps(self, elapsed_us: float) -> float:
+        """Completed operations per microsecond (== Mops)."""
+        return self.completed / elapsed_us if elapsed_us > 0 else 0.0
+
+    def on_reply(self, packet: Packet) -> None:
+        """Deliver a reply packet back to its waiting client."""
+        waiter = self._pending.pop(packet.meta.get("client"), None)
+        if waiter is not None:
+            self.latency.record(self.sim.now - packet.created_at)
+            self.completed += 1
+            waiter.trigger(packet)
+
+    def _client(self, client_id: int):
+        from ..sim import Signal
+
+        while not self._stop:
+            if self.think_time_us:
+                yield Timeout(self.rng.exponential(self.think_time_us))
+            payload = (self.payload_factory(self.sent)
+                       if self.payload_factory else None)
+            packet = Packet(
+                src=self.src, dst=self.dst, size=self.size,
+                flow_id=client_id, payload=payload,
+                created_at=self.sim.now,
+            )
+            packet.meta["client"] = (self.src, client_id)
+            waiter = Signal(self.sim)
+            self._pending[(self.src, client_id)] = waiter
+            self.send(packet)
+            self.sent += 1
+            yield waiter

@@ -1,0 +1,80 @@
+"""A top-of-rack switch and the fabric wiring hosts together.
+
+Models the Arista DCS-7050S / Cavium XP70 ToR from the testbed (§2.2.1):
+cut-through forwarding with sub-microsecond port-to-port latency, one
+full-duplex port per attached node.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from ..sim import Simulator
+from .link import Link
+from .packet import Packet
+
+#: Cut-through forwarding latency of a datacenter ToR, microseconds.
+DEFAULT_SWITCH_LATENCY_US = 0.45
+
+
+class ToRSwitch:
+    """Output-queued ToR switch: per-destination egress links."""
+
+    def __init__(self, sim: Simulator, name: str = "tor",
+                 forwarding_latency_us: float = DEFAULT_SWITCH_LATENCY_US):
+        self.sim = sim
+        self.name = name
+        self.forwarding_latency_us = forwarding_latency_us
+        self._egress: Dict[str, Link] = {}
+        self.forwarded = 0
+        self.dropped = 0
+
+    def attach(self, node: str, egress: Link) -> None:
+        """Register the link carrying traffic from the switch to ``node``."""
+        self._egress[node] = egress
+
+    def ingest(self, packet: Packet) -> None:
+        """Receive a frame from any ingress port and forward it."""
+        egress = self._egress.get(packet.dst)
+        if egress is None:
+            self.dropped += 1
+            return
+        self.forwarded += 1
+        self.sim.call_in(self.forwarding_latency_us, egress.transmit, packet)
+
+
+class Network:
+    """Star topology: every node connects to one ToR switch.
+
+    Nodes are anything exposing ``receive(packet)``.  ``attach`` builds the
+    host→switch and switch→host links and returns the host-side uplink so
+    the node can transmit.
+    """
+
+    def __init__(self, sim: Simulator, bandwidth_gbps: float,
+                 propagation_us: float = 0.3):
+        self.sim = sim
+        self.bandwidth_gbps = bandwidth_gbps
+        self.propagation_us = propagation_us
+        self.switch = ToRSwitch(sim)
+        self._uplinks: Dict[str, Link] = {}
+
+    def attach(self, name: str, receiver: Callable[[Packet], None],
+               bandwidth_gbps: float = None) -> Link:
+        bw = bandwidth_gbps or self.bandwidth_gbps
+        downlink = Link(self.sim, bw, receiver=receiver,
+                        propagation_us=self.propagation_us,
+                        name=f"{name}.down")
+        self.switch.attach(name, downlink)
+        uplink = Link(self.sim, bw, receiver=self.switch.ingest,
+                      propagation_us=self.propagation_us,
+                      name=f"{name}.up")
+        self._uplinks[name] = uplink
+        return uplink
+
+    def uplink(self, name: str) -> Link:
+        return self._uplinks[name]
+
+    def send(self, packet: Packet) -> None:
+        """Transmit from ``packet.src``'s uplink."""
+        self._uplinks[packet.src].transmit(packet)

@@ -1,0 +1,167 @@
+"""Calibration anchor tables derived from the paper's characterization study.
+
+The paper's Section 2 measurements are the ground truth for the hardware
+models.  Rather than invent analytic cost functions, we pin piecewise-linear
+curves to the data points Figures 2–6 report (or imply) and interpolate
+between anchors.  Where the paper's numbers are non-monotonic — e.g. the
+128B-vs-256B per-packet cost on the Stingray, where 128B traffic cannot
+reach line rate with 8 cores yet 256B needs only 3 — we keep the measured
+behaviour instead of smoothing it away (see DESIGN.md §1).
+
+Derivation notes (all sizes are Ethernet frame bytes, costs in µs):
+
+* **Echo cost** — the per-packet CPU time of the §2.2.2 ECHO server.  From
+  Figure 2, CN2350 needs 10/6/4/3 cores for 256/512/1024/1500B line rate at
+  10GbE, so cost(size) ∈ ((k−1)/rate, k/rate]; we pin the midpoint-ish value
+  (k−0.5)/rate.  64/128B anchors are chosen so all 12 cores still miss line
+  rate, as the paper observes.  Stingray anchors come from Figure 3 the same
+  way (3/2/1/1 cores).
+* **Forward cost** — raw packet forwarding without the application echo.
+  Backed out from Figure 4's computing-headroom limits: headroom =
+  ncores/rate − forward_cost, with the paper reporting 2.5/9.8µs (CN2350,
+  256/1024B) and 0.7/2.6µs (Stingray).
+* **Messaging (Figure 6)** — linear latency models whose averages across the
+  probed sizes reproduce the reported 4.6×/4.2× advantage of NIC-assisted
+  send/recv over host DPDK/RDMA.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, Sequence, Tuple
+
+from .specs import (
+    BLUEFIELD_1M332A,
+    LIQUIDIO_CN2350,
+    LIQUIDIO_CN2360,
+    STINGRAY_PS225,
+    NicSpec,
+)
+
+
+class AnchorCurve:
+    """Piecewise-linear interpolation over (x, y) anchors; clamps outside."""
+
+    def __init__(self, anchors: Sequence[Tuple[float, float]]):
+        if len(anchors) < 2:
+            raise ValueError("need at least two anchors")
+        xs = [x for x, _ in anchors]
+        if xs != sorted(xs):
+            raise ValueError("anchor x values must be increasing")
+        self.xs = xs
+        self.ys = [y for _, y in anchors]
+
+    def __call__(self, x: float) -> float:
+        if x <= self.xs[0]:
+            return self.ys[0]
+        if x >= self.xs[-1]:
+            return self.ys[-1]
+        hi = bisect_left(self.xs, x)
+        lo = hi - 1
+        frac = (x - self.xs[lo]) / (self.xs[hi] - self.xs[lo])
+        return self.ys[lo] * (1 - frac) + self.ys[hi] * frac
+
+
+# -- per-packet ECHO-server cost on one NIC core (Figures 2 & 3) -------------
+
+_ECHO_COST_US: Dict[str, AnchorCurve] = {
+    LIQUIDIO_CN2350.model: AnchorCurve([
+        (64, 1.90), (128, 1.95), (256, 2.098), (512, 2.340),
+        (1024, 2.924), (1500, 3.040),
+    ]),
+    # CN2360 runs the same firmware at 1.5GHz (vs 1.2): scale by 0.8.
+    LIQUIDIO_CN2360.model: AnchorCurve([
+        (64, 1.52), (128, 1.56), (256, 1.678), (512, 1.872),
+        (1024, 2.339), (1500, 2.432),
+    ]),
+    STINGRAY_PS225.model: AnchorCurve([
+        (64, 0.25), (128, 0.40), (256, 0.24), (512, 0.30),
+        (1024, 0.332), (1500, 0.40),
+    ]),
+    # BlueField's A72 runs at 0.8GHz vs the Stingray's 3.0 — scale ~3.75x,
+    # with the same small-packet inefficiency.
+    BLUEFIELD_1M332A.model: AnchorCurve([
+        (64, 0.94), (128, 1.50), (256, 0.90), (512, 1.13),
+        (1024, 1.25), (1500, 1.50),
+    ]),
+}
+
+# Stingray's 128B anchor is *higher* than its 256B one — measured, not a
+# typo: 8 cores cannot sustain 21.1 Mpps of 128B frames yet 3 cores carry
+# 11.3 Mpps of 256B frames (Figure 3 + §2.2.2 text).  The buffer manager
+# coalesces at 256B granularity.
+_NONMONOTONIC_OK = {STINGRAY_PS225.model, BLUEFIELD_1M332A.model}
+
+
+# -- raw forwarding cost (Figure 4's baseline) --------------------------------
+
+_FORWARD_COST_US: Dict[str, AnchorCurve] = {
+    LIQUIDIO_CN2350.model: AnchorCurve([
+        (64, 0.171), (256, 0.191), (1024, 0.267), (1500, 0.315),
+    ]),
+    LIQUIDIO_CN2360.model: AnchorCurve([
+        (64, 0.137), (256, 0.153), (1024, 0.214), (1500, 0.252),
+    ]),
+    STINGRAY_PS225.model: AnchorCurve([
+        (64, 0.006), (256, 0.022), (1024, 0.088), (1500, 0.129),
+    ]),
+    BLUEFIELD_1M332A.model: AnchorCurve([
+        (64, 0.023), (256, 0.083), (1024, 0.330), (1500, 0.484),
+    ]),
+}
+
+
+def echo_cost_us(spec: NicSpec, frame_bytes: int) -> float:
+    """Per-packet CPU cost of the ECHO app on one core of ``spec``."""
+    return _ECHO_COST_US[spec.model](frame_bytes)
+
+
+def forward_cost_us(spec: NicSpec, frame_bytes: int) -> float:
+    """Per-packet cost of pure forwarding (no application work)."""
+    return _FORWARD_COST_US[spec.model](frame_bytes)
+
+
+# -- traffic manager -----------------------------------------------------------
+
+#: Dequeue overhead from the hardware-managed shared work queue (I2: the
+#: traffic manager provides a shared queue with *little* synchronization
+#: overhead — Figure 5 shows 12 cores add only ~4% latency over 6).
+HW_SHARED_QUEUE_SYNC_US = 0.02
+#: Software shared queue (off-path NICs, spinlock-protected): ~10x worse.
+SW_SHARED_QUEUE_SYNC_US = 0.18
+
+
+# -- host/NIC messaging latency (Figure 6) ------------------------------------
+
+def smartnic_send_us(frame_bytes: int) -> float:
+    """Hardware-assisted (PKO) send on the LiquidIO, one packet."""
+    return 0.25 + 4.0e-4 * frame_bytes
+
+
+def smartnic_recv_us(frame_bytes: int) -> float:
+    return 0.28 + 4.0e-4 * frame_bytes
+
+
+def dpdk_send_us(frame_bytes: int) -> float:
+    """Host DPDK SEND cost (kernel-bypass, but software descriptor path)."""
+    return 1.35 + 9.0e-4 * frame_bytes
+
+
+def dpdk_recv_us(frame_bytes: int) -> float:
+    return 1.45 + 9.0e-4 * frame_bytes
+
+
+def rdma_send_us(frame_bytes: int) -> float:
+    """Host RDMA SEND verb cost."""
+    return 1.20 + 1.0e-3 * frame_bytes
+
+
+def rdma_recv_us(frame_bytes: int) -> float:
+    return 1.30 + 1.0e-3 * frame_bytes
+
+
+#: Sizes Figures 6-10 sweep.
+MESSAGE_SIZES = (4, 8, 16, 32, 64, 128, 256, 512, 1024)
+DMA_SIZES = (4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048)
+#: Sizes Figures 2/3/5 sweep.
+FRAME_SIZES = (64, 128, 256, 512, 1024, 1500)

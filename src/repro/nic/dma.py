@@ -1,0 +1,127 @@
+"""DMA engine model: NIC ↔ host memory over PCIe Gen3 x8 (§2.2.5).
+
+Reproduces the Figure 7/8 measurements on the LiquidIOII CN2350:
+
+* blocking reads/writes wait for the completion word; latency grows
+  linearly with payload (pinned to the paper's 64B→2KB throughput ratios:
+  2KB blocking write/read reaches 2.1/1.4 GB/s per core, 8.7x/6.0x the 64B
+  case);
+* non-blocking operations just enqueue a command word — latency is flat
+  and independent of payload;
+* aggregate throughput is additionally capped by effective PCIe bandwidth
+  and by the command-issue rate (tags/credits), which is what bends the
+  non-blocking curves at large payloads (implication I6: aggregate
+  transfers via scatter/gather).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..sim import Resource, Simulator, Timeout
+
+#: PCIe Gen3 x8: 7.87 GB/s theoretical; ~80% achievable after TLP overheads.
+PCIE_GEN3_X8_GBPS = 7.87
+PCIE_EFFICIENCY = 0.80
+
+
+@dataclass(frozen=True)
+class DmaTimings:
+    """Per-card DMA cost curve parameters (µs, bytes/µs)."""
+
+    # blocking latency = base + size / bandwidth  (bandwidth in B/µs)
+    read_base_us: float = 0.236
+    read_bw_b_per_us: float = 1670.0     # asymptotic 1.67 GB/s
+    write_base_us: float = 0.242
+    write_bw_b_per_us: float = 2794.0    # asymptotic 2.79 GB/s
+    # non-blocking command insert cost (flat, Figure 7)
+    nb_read_issue_us: float = 0.30
+    nb_write_issue_us: float = 0.25
+    # per-core non-blocking command issue ceiling (Mops, Figure 8)
+    nb_issue_mops: float = 11.0
+
+
+class DmaEngine:
+    """A SmartNIC's programmable DMA engine.
+
+    Timing queries (``*_latency_us``, ``*_throughput_mops``) are pure
+    functions used by characterization benches; :meth:`read` / :meth:`write`
+    are process generators that charge a core's virtual time and contend on
+    the engine's channel resource.
+    """
+
+    def __init__(self, sim: Simulator, timings: DmaTimings = DmaTimings(),
+                 channels: int = 8):
+        self.sim = sim
+        self.timings = timings
+        self.channels = Resource(sim, channels)
+        self.bytes_moved = 0
+        self.ops = 0
+
+    # -- analytic model (Figures 7 & 8) ----------------------------------
+    def read_latency_us(self, nbytes: int, blocking: bool = True) -> float:
+        if not blocking:
+            return self.timings.nb_read_issue_us
+        return self.timings.read_base_us + nbytes / self.timings.read_bw_b_per_us
+
+    def write_latency_us(self, nbytes: int, blocking: bool = True) -> float:
+        if not blocking:
+            return self.timings.nb_write_issue_us
+        return self.timings.write_base_us + nbytes / self.timings.write_bw_b_per_us
+
+    def _pcie_cap_mops(self, nbytes: int) -> float:
+        effective_b_per_us = PCIE_GEN3_X8_GBPS * 1e3 * PCIE_EFFICIENCY
+        return effective_b_per_us / max(nbytes, 1)
+
+    def read_throughput_mops(self, nbytes: int, blocking: bool = True) -> float:
+        if blocking:
+            per_op = 1.0 / self.read_latency_us(nbytes)
+        else:
+            per_op = self.timings.nb_issue_mops
+        return min(per_op, self._pcie_cap_mops(nbytes))
+
+    def write_throughput_mops(self, nbytes: int, blocking: bool = True) -> float:
+        if blocking:
+            per_op = 1.0 / self.write_latency_us(nbytes)
+        else:
+            per_op = self.timings.nb_issue_mops
+        return min(per_op, self._pcie_cap_mops(nbytes))
+
+    # -- simulation-facing operations -------------------------------------
+    def read(self, nbytes: int, blocking: bool = True):
+        """Process generator: DMA-read ``nbytes`` from host memory."""
+        yield from self._op(self.read_latency_us(nbytes, blocking), nbytes)
+
+    def write(self, nbytes: int, blocking: bool = True):
+        """Process generator: DMA-write ``nbytes`` to host memory."""
+        yield from self._op(self.write_latency_us(nbytes, blocking), nbytes)
+
+    def write_gather(self, chunks: Sequence[int]):
+        """Scatter/gather: one blocking transaction for many chunks.
+
+        Aggregating PCIe transfers is implication I6 — one header/completion
+        round for the combined payload rather than per chunk.
+        """
+        total = sum(chunks)
+        yield from self._op(self.write_latency_us(total, blocking=True), total)
+
+    def _op(self, cost_us: float, nbytes: int):
+        yield self.channels.acquire()
+        try:
+            yield Timeout(cost_us)
+            self.bytes_moved += nbytes
+            self.ops += 1
+        finally:
+            self.channels.release()
+
+    # -- bulk-transfer estimate (used by actor migration) -------------------
+    def bulk_transfer_us(self, nbytes: int, chunk: int = 8192) -> float:
+        """Time to move a large object host↔NIC using chunked blocking DMA."""
+        if nbytes <= 0:
+            return 0.0
+        full, rem = divmod(nbytes, chunk)
+        total = full * self.write_latency_us(chunk)
+        if rem:
+            total += self.write_latency_us(rem)
+        return total

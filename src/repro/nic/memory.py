@@ -1,0 +1,184 @@
+"""On-board memory hierarchy model (§2.2.4, Table 2).
+
+Models the five memory resources the paper enumerates: per-core scratchpad,
+the hardware packet buffer, shared L2, NIC-local DRAM, and (via the DMA
+engine, separately) host memory.  The access-time model reproduces the
+pointer-chasing measurements of Table 2, and a working-set-aware cost
+estimator captures implication I5: once an application's working set spills
+out of the NIC's L2, per-access cost degrades to DRAM latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .specs import HostSpec, MemoryLatencies, NicSpec
+
+
+@dataclass
+class AccessProfile:
+    """How a workload touches memory: accesses per request + locality."""
+
+    accesses: int
+    working_set_bytes: int
+    #: Fraction of accesses with L1 temporal locality regardless of set size.
+    l1_hit_ratio: float = 0.7
+
+
+class MemoryHierarchy:
+    """Latency model for a device's cache/DRAM hierarchy."""
+
+    def __init__(self, latencies: MemoryLatencies, l1_kb: int, l2_bytes: int,
+                 l3_bytes: int = 0):
+        self.lat = latencies
+        self.l1_bytes = l1_kb * 1024
+        self.l2_bytes = l2_bytes
+        self.l3_bytes = l3_bytes
+
+    @classmethod
+    def for_nic(cls, spec: NicSpec) -> "MemoryHierarchy":
+        return cls(spec.memory, spec.l1_kb, int(spec.l2_mb * 1024 * 1024))
+
+    @classmethod
+    def for_host(cls, spec: HostSpec) -> "MemoryHierarchy":
+        # 32KB L1 / 256KB L2 / 30MB LLC are the E5 v3/v4 shapes.
+        return cls(spec.memory, 32, 256 * 1024, 30 * 1024 * 1024)
+
+    # -- pointer chasing (Table 2) -----------------------------------------
+    def chase_latency_ns(self, working_set_bytes: int) -> float:
+        """Average load-to-use latency of a dependent pointer chase whose
+        footprint is ``working_set_bytes`` (the Table 2 experiment)."""
+        if working_set_bytes <= self.l1_bytes:
+            return self.lat.l1_ns
+        if working_set_bytes <= self.l2_bytes:
+            return self.lat.l2_ns
+        if self.l3_bytes and working_set_bytes <= self.l3_bytes:
+            return self.lat.l3_ns
+        return self.lat.dram_ns
+
+    # -- workload cost (implication I5) -------------------------------------
+    def access_cost_us(self, profile: AccessProfile) -> float:
+        """Total memory stall time for one request of the given profile."""
+        misses = profile.accesses * (1.0 - profile.l1_hit_ratio)
+        per_miss_ns = self.chase_latency_ns(profile.working_set_bytes)
+        hit_ns = profile.accesses * profile.l1_hit_ratio * self.lat.l1_ns
+        return (hit_ns + misses * per_miss_ns) / 1000.0
+
+
+class Scratchpad:
+    """Per-core scratchpad: tiny, fast, explicitly managed (LiquidIO: 54
+    cache lines).  iPipe reserves it for runtime bookkeeping (§3.3), so the
+    model exposes reserve/release accounting rather than data storage."""
+
+    def __init__(self, lines: int, line_bytes: int = 128):
+        self.capacity_bytes = lines * line_bytes
+        self.used_bytes = 0
+
+    def reserve(self, nbytes: int) -> bool:
+        """Claim scratchpad space; returns False when it doesn't fit."""
+        if self.used_bytes + nbytes > self.capacity_bytes:
+            return False
+        self.used_bytes += nbytes
+        return True
+
+    def release(self, nbytes: int) -> None:
+        if nbytes > self.used_bytes:
+            raise ValueError("releasing more scratchpad than reserved")
+        self.used_bytes -= nbytes
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity_bytes - self.used_bytes
+
+
+class PacketBuffer:
+    """Hardware-managed on-board packet buffer with fast indexing.
+
+    On-path NICs have a dedicated SRAM region with hardware allocation;
+    off-path NICs lack it and fall back to DRAM-backed buffers (§2.2.4),
+    which the allocate cost reflects.
+    """
+
+    HW_ALLOC_US = 0.005
+    SW_ALLOC_US = 0.06
+
+    def __init__(self, capacity_bytes: int, hardware_managed: bool):
+        self.capacity_bytes = capacity_bytes
+        self.hardware_managed = hardware_managed
+        self.used_bytes = 0
+        self.allocations = 0
+        self.failures = 0
+
+    @classmethod
+    def for_nic(cls, spec: NicSpec, capacity_bytes: int = 8 * 1024 * 1024
+                ) -> "PacketBuffer":
+        return cls(capacity_bytes, hardware_managed=spec.is_on_path)
+
+    @property
+    def alloc_cost_us(self) -> float:
+        return self.HW_ALLOC_US if self.hardware_managed else self.SW_ALLOC_US
+
+    def allocate(self, nbytes: int) -> bool:
+        if self.used_bytes + nbytes > self.capacity_bytes:
+            self.failures += 1
+            return False
+        self.used_bytes += nbytes
+        self.allocations += 1
+        return True
+
+    def free(self, nbytes: int) -> None:
+        if nbytes > self.used_bytes:
+            raise ValueError("freeing more packet buffer than allocated")
+        self.used_bytes -= nbytes
+
+
+class NicDram:
+    """NIC-local DRAM allocator with per-actor region accounting.
+
+    iPipe partitions DRAM into large equal-sized chunks per registered
+    actor (§3.3, "global bootmem region"); the DMO layer enforces that an
+    actor only allocates inside its own region.
+    """
+
+    def __init__(self, capacity_bytes: int):
+        self.capacity_bytes = capacity_bytes
+        self.regions: dict = {}
+
+    def create_region(self, owner: str, nbytes: int) -> "MemoryRegion":
+        used = sum(r.capacity for r in self.regions.values())
+        if used + nbytes > self.capacity_bytes:
+            raise MemoryError(
+                f"NIC DRAM exhausted: {used + nbytes} > {self.capacity_bytes}")
+        region = MemoryRegion(owner, nbytes)
+        self.regions[owner] = region
+        return region
+
+    def destroy_region(self, owner: str) -> None:
+        self.regions.pop(owner, None)
+
+
+@dataclass
+class MemoryRegion:
+    """An actor's private slice of NIC (or host) DRAM."""
+
+    owner: str
+    capacity: int
+    used: int = 0
+    _next_addr: int = 0
+
+    def allocate(self, nbytes: int) -> Optional[int]:
+        """Bump allocation; returns a region-relative address or None."""
+        if self.used + nbytes > self.capacity:
+            return None
+        addr = self._next_addr
+        self._next_addr += nbytes
+        self.used += nbytes
+        return addr
+
+    def free(self, nbytes: int) -> None:
+        self.used = max(0, self.used - nbytes)
+
+    def contains(self, addr: int) -> bool:
+        """Paging-style validity check used by the isolation layer."""
+        return 0 <= addr < self._next_addr

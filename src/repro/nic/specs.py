@@ -1,0 +1,199 @@
+"""Hardware catalog: the four SmartNICs of Table 1 plus the host servers.
+
+Every model parameter that downstream components consume (core counts,
+frequencies, cache sizes, memory latencies, link speed, deployment style)
+lives here, transcribed from Table 1 / Table 2 / §2.2.1 of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class MemoryLatencies:
+    """Load-to-use latencies in nanoseconds (Table 2, pointer chasing)."""
+
+    l1_ns: float
+    l2_ns: float
+    dram_ns: float
+    l3_ns: Optional[float] = None
+    cache_line: int = 64
+
+
+@dataclass(frozen=True)
+class NicSpec:
+    """Static description of a Multicore SoC SmartNIC."""
+
+    model: str
+    vendor: str
+    processor: str
+    cores: int
+    freq_ghz: float
+    ports: int
+    bandwidth_gbps: float
+    l1_kb: int
+    l2_mb: float
+    dram_gb: int
+    deployed_sw: str            # "firmware" or "full-os"
+    nic_type: str               # "on-path" or "off-path"
+    host_interface: str         # "dma" or "rdma"
+    memory: MemoryLatencies = field(default=None)
+    #: Scratchpad cache lines per core (LiquidIO: 54 lines, §2.2.4).
+    scratchpad_lines: int = 0
+    #: Ideal issue width of the core (cnMIPS OCTEON is 2-way).
+    issue_width: int = 2
+    has_traffic_manager: bool = True
+    has_nvdimm: bool = False
+
+    @property
+    def is_on_path(self) -> bool:
+        return self.nic_type == "on-path"
+
+    @property
+    def runs_firmware(self) -> bool:
+        return self.deployed_sw == "firmware"
+
+
+@dataclass(frozen=True)
+class HostSpec:
+    """A host server box from the testbed (§2.2.1)."""
+
+    model: str
+    cores: int
+    freq_ghz: float
+    memory: MemoryLatencies
+    dram_gb: int
+    issue_width: int = 4
+
+
+LIQUIDIO_CN2350 = NicSpec(
+    model="LiquidIOII CN2350",
+    vendor="Marvell",
+    processor="cnMIPS OCTEON",
+    cores=12,
+    freq_ghz=1.2,
+    ports=2,
+    bandwidth_gbps=10,
+    l1_kb=32,
+    l2_mb=4,
+    dram_gb=4,
+    deployed_sw="firmware",
+    nic_type="on-path",
+    host_interface="dma",
+    memory=MemoryLatencies(l1_ns=8.3, l2_ns=55.8, dram_ns=115.0, cache_line=128),
+    scratchpad_lines=54,
+    issue_width=2,
+    has_traffic_manager=True,
+)
+
+LIQUIDIO_CN2360 = NicSpec(
+    model="LiquidIOII CN2360",
+    vendor="Marvell",
+    processor="cnMIPS OCTEON",
+    cores=16,
+    freq_ghz=1.5,
+    ports=2,
+    bandwidth_gbps=25,
+    l1_kb=32,
+    l2_mb=4,
+    dram_gb=4,
+    deployed_sw="firmware",
+    nic_type="on-path",
+    host_interface="dma",
+    memory=MemoryLatencies(l1_ns=8.3, l2_ns=55.8, dram_ns=115.0, cache_line=128),
+    scratchpad_lines=54,
+    issue_width=2,
+    has_traffic_manager=True,
+)
+
+BLUEFIELD_1M332A = NicSpec(
+    model="BlueField 1M332A",
+    vendor="Mellanox",
+    processor="ARM Cortex-A72",
+    cores=8,
+    freq_ghz=0.8,
+    ports=2,
+    bandwidth_gbps=25,
+    l1_kb=32,
+    l2_mb=1,
+    dram_gb=16,
+    deployed_sw="full-os",
+    nic_type="off-path",
+    host_interface="rdma",
+    memory=MemoryLatencies(l1_ns=5.0, l2_ns=25.6, dram_ns=132.0, cache_line=64),
+    issue_width=3,
+    has_traffic_manager=False,
+    has_nvdimm=True,
+)
+
+STINGRAY_PS225 = NicSpec(
+    model="Stingray PS225",
+    vendor="Broadcom",
+    processor="ARM Cortex-A72",
+    cores=8,
+    freq_ghz=3.0,
+    ports=2,
+    bandwidth_gbps=25,
+    l1_kb=32,
+    l2_mb=16,
+    dram_gb=8,
+    deployed_sw="full-os",
+    nic_type="off-path",
+    host_interface="rdma",
+    memory=MemoryLatencies(l1_ns=1.3, l2_ns=25.1, dram_ns=85.3, cache_line=64),
+    issue_width=3,
+    has_traffic_manager=False,
+)
+
+#: 1U Supermicro used with the LiquidIO cards.
+HOST_XEON_E5_2680 = HostSpec(
+    model="Intel Xeon E5-2680 v3",
+    cores=12,
+    freq_ghz=2.5,
+    memory=MemoryLatencies(l1_ns=1.2, l2_ns=6.0, l3_ns=22.4, dram_ns=62.2),
+    dram_gb=64,
+)
+
+#: 2U Supermicro used with the BlueField / Stingray cards.
+HOST_XEON_E5_2620 = HostSpec(
+    model="Intel Xeon E5-2620 v4",
+    cores=16,
+    freq_ghz=2.1,
+    memory=MemoryLatencies(l1_ns=1.2, l2_ns=6.0, l3_ns=22.4, dram_ns=62.2),
+    dram_gb=128,
+)
+
+ALL_NICS: Dict[str, NicSpec] = {
+    spec.model: spec
+    for spec in (LIQUIDIO_CN2350, LIQUIDIO_CN2360, BLUEFIELD_1M332A, STINGRAY_PS225)
+}
+
+
+def host_for(nic: NicSpec) -> HostSpec:
+    """The host server box paired with a given SmartNIC in the testbed."""
+    if nic.vendor == "Marvell":
+        return HOST_XEON_E5_2680
+    return HOST_XEON_E5_2620
+
+
+def table1_rows() -> Tuple[Tuple[str, ...], ...]:
+    """Render Table 1 as printable rows for the bench harness."""
+    header = ("SmartNIC model", "Vendor", "Processor", "BW", "L1", "L2",
+              "DRAM", "Deployed SW", "Type", "To/From host")
+    rows = [header]
+    for spec in ALL_NICS.values():
+        rows.append((
+            spec.model,
+            spec.vendor,
+            f"{spec.processor} {spec.cores} core, {spec.freq_ghz}GHz",
+            f"{spec.ports}x {spec.bandwidth_gbps:g}GbE",
+            f"{spec.l1_kb}KB",
+            f"{spec.l2_mb:g}MB",
+            f"{spec.dram_gb}GB",
+            spec.deployed_sw,
+            spec.nic_type,
+            spec.host_interface.upper(),
+        ))
+    return tuple(rows)

@@ -1,0 +1,108 @@
+"""Traffic control: hardware traffic manager and off-path NIC switch (§2.1).
+
+* On-path NICs (LiquidIOII) push every incoming packet through the hardware
+  traffic manager, which exposes a *shared work queue* to all NIC cores with
+  near-zero synchronization cost (implication I2, Figure 5).
+* Off-path NICs (BlueField, Stingray) instead have a NIC switch that
+  forwards flows either to the host (bypassing NIC cores) or to NIC cores,
+  according to installed forwarding rules.  A software shuffle queue with a
+  higher sync cost stands in for the missing traffic manager (§3.2.6).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..sim import Simulator, Store
+from ..net import Packet
+from .calibration import HW_SHARED_QUEUE_SYNC_US, SW_SHARED_QUEUE_SYNC_US
+from .specs import NicSpec
+
+
+class TrafficManager:
+    """Shared work-queue abstraction feeding NIC cores.
+
+    ``dequeue_sync_us`` is the per-dequeue synchronization tax — tiny when
+    a hardware traffic manager provides the queue, ~10x larger for a
+    software (spinlock) shuffle queue.
+    """
+
+    def __init__(self, sim: Simulator, hardware: bool = True,
+                 capacity: Optional[int] = None):
+        self.sim = sim
+        self.hardware = hardware
+        self.queue = Store(sim, capacity=capacity)
+        self.dequeue_sync_us = (
+            HW_SHARED_QUEUE_SYNC_US if hardware else SW_SHARED_QUEUE_SYNC_US)
+        self.enqueued = 0
+        self.dropped = 0
+
+    def push(self, packet: Packet) -> None:
+        """Hardware enqueue of an arriving packet (work item)."""
+        try:
+            self.queue.put_nowait(packet)
+            self.enqueued += 1
+        except Exception:
+            self.dropped += 1
+
+    def pop(self):
+        """Process command: block until a work item is available."""
+        return self.queue.get()
+
+    def try_pop(self):
+        """Immediate dequeue; returns None when the queue is empty."""
+        return self.queue.try_get_nowait()
+
+    def __len__(self) -> int:
+        return len(self.queue)
+
+
+class NicSwitch:
+    """Off-path forwarding: steer flows to NIC cores or straight to host.
+
+    Rules map a classification key to ``"nic"`` or ``"host"``.  The default
+    action sends traffic to the NIC cores (where iPipe runs); host-bound
+    flows bypass NIC compute entirely, as BlueField/Stingray do.
+    """
+
+    def __init__(self, sim: Simulator,
+                 to_nic: Callable[[Packet], None],
+                 to_host: Callable[[Packet], None],
+                 default: str = "nic",
+                 switching_latency_us: float = 0.3):
+        if default not in ("nic", "host"):
+            raise ValueError("default must be 'nic' or 'host'")
+        self.sim = sim
+        self.to_nic = to_nic
+        self.to_host = to_host
+        self.default = default
+        self.switching_latency_us = switching_latency_us
+        self.rules: dict = {}
+        self.steered_nic = 0
+        self.steered_host = 0
+
+    def install_rule(self, key, target: str) -> None:
+        if target not in ("nic", "host"):
+            raise ValueError("target must be 'nic' or 'host'")
+        self.rules[key] = target
+
+    def remove_rule(self, key) -> None:
+        self.rules.pop(key, None)
+
+    def classify(self, packet: Packet):
+        """Rule key for a packet: (kind, flow)."""
+        return packet.meta.get("steer_key", packet.kind)
+
+    def ingest(self, packet: Packet) -> None:
+        target = self.rules.get(self.classify(packet), self.default)
+        if target == "host":
+            self.steered_host += 1
+            self.sim.call_in(self.switching_latency_us, self.to_host, packet)
+        else:
+            self.steered_nic += 1
+            self.sim.call_in(self.switching_latency_us, self.to_nic, packet)
+
+
+def traffic_manager_for(sim: Simulator, spec: NicSpec) -> TrafficManager:
+    """Build the work queue matching the NIC's hardware capabilities."""
+    return TrafficManager(sim, hardware=spec.has_traffic_manager)

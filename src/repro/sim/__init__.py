@@ -1,0 +1,31 @@
+"""Discrete-event simulation kernel (virtual time in microseconds)."""
+
+from .engine import MICROSECOND, MILLISECOND, SECOND, EventHandle, SimulationError, Simulator
+from .process import Process, Signal, Timeout, all_of, spawn
+from .resources import Resource, Store
+from .distributions import Rng, ZipfGenerator, percentile
+from .stats import Counter, Ewma, LatencyRecorder, LatencyTracker, UtilizationTracker
+
+__all__ = [
+    "MICROSECOND",
+    "MILLISECOND",
+    "SECOND",
+    "EventHandle",
+    "SimulationError",
+    "Simulator",
+    "Process",
+    "Signal",
+    "Timeout",
+    "all_of",
+    "spawn",
+    "Resource",
+    "Store",
+    "Rng",
+    "ZipfGenerator",
+    "percentile",
+    "Counter",
+    "Ewma",
+    "LatencyRecorder",
+    "LatencyTracker",
+    "UtilizationTracker",
+]

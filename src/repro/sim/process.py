@@ -1,0 +1,156 @@
+"""Generator-based processes on top of the event engine.
+
+A process is a Python generator that yields *commands*:
+
+* ``Timeout(dt)`` — sleep for ``dt`` microseconds of virtual time.
+* ``Waitable``   — any object with ``add_waiter(process)`` semantics
+  (:class:`Signal`, a :class:`Process` join, store get/put operations from
+  :mod:`repro.sim.resources`).
+
+The yielded waitable resumes the process with ``.send(value)`` once it
+completes, mirroring how firmware threads block on hardware queues.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+from .engine import SimulationError, Simulator
+
+
+class Command:
+    """Base class for things a process may yield."""
+
+    def subscribe(self, process: "Process") -> None:
+        raise NotImplementedError
+
+
+class Timeout(Command):
+    """Sleep for a fixed amount of virtual time."""
+
+    __slots__ = ("delay", "value")
+
+    def __init__(self, delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout: {delay}")
+        self.delay = delay
+        self.value = value
+
+    def subscribe(self, process: "Process") -> None:
+        process.sim.call_in(self.delay, process._resume, self.value)
+
+
+class Signal(Command):
+    """A one-shot level-triggered event.
+
+    Processes yielding an un-triggered signal block until ``trigger`` is
+    called; yielding an already-triggered signal resumes on the next event
+    cycle (same virtual time).
+    """
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self.triggered = False
+        self.value: Any = None
+        self._waiters: List[Callable[[Any], None]] = []
+
+    def trigger(self, value: Any = None) -> None:
+        if self.triggered:
+            raise SimulationError("signal already triggered")
+        self.triggered = True
+        self.value = value
+        waiters, self._waiters = self._waiters, []
+        for resume in waiters:
+            self.sim.call_in(0.0, resume, value)
+
+    def subscribe(self, process: "Process") -> None:
+        if self.triggered:
+            process.sim.call_in(0.0, process._resume, self.value)
+        else:
+            self._waiters.append(process._resume)
+
+
+class Process(Command):
+    """Drives a generator coroutine against the simulator clock.
+
+    Yield a :class:`Process` from another process to *join* it (block until
+    it returns).  The ``StopIteration`` value becomes the join value.
+    """
+
+    _ids = 0
+
+    def __init__(self, sim: Simulator, gen: Generator[Command, Any, Any],
+                 name: Optional[str] = None):
+        Process._ids += 1
+        self.sim = sim
+        self.gen = gen
+        self.name = name or f"process-{Process._ids}"
+        self.alive = True
+        self.result: Any = None
+        self._joiners: List[Callable[[Any], None]] = []
+        sim.call_in(0.0, self._resume, None)
+
+    # -- Command protocol: joining ------------------------------------
+    def subscribe(self, process: "Process") -> None:
+        if not self.alive:
+            process.sim.call_in(0.0, process._resume, self.result)
+        else:
+            self._joiners.append(process._resume)
+
+    # -- driver --------------------------------------------------------
+    def _resume(self, value: Any) -> None:
+        if not self.alive:
+            return
+        try:
+            command = self.gen.send(value)
+        except StopIteration as stop:
+            self._finish(stop.value)
+            return
+        if not isinstance(command, Command):
+            raise SimulationError(
+                f"{self.name} yielded {command!r}, expected a Command"
+            )
+        command.subscribe(self)
+
+    def _finish(self, result: Any) -> None:
+        self.alive = False
+        self.result = result
+        joiners, self._joiners = self._joiners, []
+        for resume in joiners:
+            self.sim.call_in(0.0, resume, result)
+
+    def kill(self) -> None:
+        """Terminate the process without resuming it again."""
+        if self.alive:
+            self.gen.close()
+            self._finish(None)
+
+
+def spawn(sim: Simulator, gen: Generator[Command, Any, Any],
+          name: Optional[str] = None) -> Process:
+    """Convenience wrapper to start a process."""
+    return Process(sim, gen, name=name)
+
+
+def all_of(sim: Simulator, processes: Iterable[Process]) -> Signal:
+    """A signal that triggers once every given process has finished."""
+    processes = list(processes)
+    done = Signal(sim)
+    remaining = [len(processes)]
+    if not processes:
+        done.trigger([])
+        return done
+    results: List[Any] = [None] * len(processes)
+
+    def _collect(index: int, value: Any) -> None:
+        results[index] = value
+        remaining[0] -= 1
+        if remaining[0] == 0:
+            done.trigger(results)
+
+    for i, proc in enumerate(processes):
+        if not proc.alive:
+            _collect(i, proc.result)
+        else:
+            proc._joiners.append(lambda value, i=i: _collect(i, value))
+    return done

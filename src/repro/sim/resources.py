@@ -1,0 +1,163 @@
+"""Blocking queues and capacity resources for simulation processes.
+
+These mirror the hardware abstractions the paper relies on:
+
+* :class:`Store` — an unbounded (or bounded) FIFO; the shared work queue a
+  hardware traffic manager exposes to NIC cores is a ``Store``.
+* :class:`Resource` — counted capacity with FIFO waiters (e.g. DMA engine
+  channels, accelerator units).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, List, Optional
+
+from .engine import SimulationError, Simulator
+from .process import Command, Process
+
+
+class StoreGet(Command):
+    __slots__ = ("store",)
+
+    def __init__(self, store: "Store"):
+        self.store = store
+
+    def subscribe(self, process: Process) -> None:
+        self.store._register_get(process)
+
+
+class StorePut(Command):
+    __slots__ = ("store", "item")
+
+    def __init__(self, store: "Store", item: Any):
+        self.store = store
+        self.item = item
+
+    def subscribe(self, process: Process) -> None:
+        self.store._register_put(process, self.item)
+
+
+class Store:
+    """FIFO queue with blocking ``get`` and optionally-blocking ``put``.
+
+    ``capacity=None`` means unbounded — puts never block (and may be done
+    synchronously from callbacks via :meth:`put_nowait`).
+    """
+
+    def __init__(self, sim: Simulator, capacity: Optional[int] = None):
+        if capacity is not None and capacity <= 0:
+            raise SimulationError("store capacity must be positive")
+        self.sim = sim
+        self.capacity = capacity
+        self.items: Deque[Any] = deque()
+        self._getters: Deque[Process] = deque()
+        self._putters: Deque[tuple] = deque()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    # -- process-facing commands ---------------------------------------
+    def get(self) -> StoreGet:
+        return StoreGet(self)
+
+    def put(self, item: Any) -> StorePut:
+        return StorePut(self, item)
+
+    # -- callback-facing immediate operations --------------------------
+    def put_nowait(self, item: Any) -> None:
+        """Insert an item immediately; raises if the store is full."""
+        if self.capacity is not None and len(self.items) >= self.capacity:
+            raise SimulationError("store full")
+        self.items.append(item)
+        self._dispatch()
+
+    def try_get_nowait(self) -> Any:
+        """Pop an item if one is present, else return ``None``."""
+        if self.items:
+            item = self.items.popleft()
+            self._admit_putter()
+            return item
+        return None
+
+    # -- internals ------------------------------------------------------
+    def _register_get(self, process: Process) -> None:
+        self._getters.append(process)
+        self._dispatch()
+
+    def _register_put(self, process: Process, item: Any) -> None:
+        if self.capacity is None or len(self.items) < self.capacity:
+            self.items.append(item)
+            self.sim.call_in(0.0, process._resume, None)
+            self._dispatch()
+        else:
+            self._putters.append((process, item))
+
+    def _dispatch(self) -> None:
+        while self.items and self._getters:
+            process = self._getters.popleft()
+            item = self.items.popleft()
+            self.sim.call_in(0.0, process._resume, item)
+            self._admit_putter()
+
+    def _admit_putter(self) -> None:
+        if self._putters and (
+            self.capacity is None or len(self.items) < self.capacity
+        ):
+            process, item = self._putters.popleft()
+            self.items.append(item)
+            self.sim.call_in(0.0, process._resume, None)
+
+
+class ResourceAcquire(Command):
+    __slots__ = ("resource",)
+
+    def __init__(self, resource: "Resource"):
+        self.resource = resource
+
+    def subscribe(self, process: Process) -> None:
+        self.resource._register(process)
+
+
+class Resource:
+    """Counted capacity with FIFO granting.
+
+    Usage inside a process::
+
+        yield resource.acquire()
+        try:
+            yield Timeout(cost)
+        finally:
+            resource.release()
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 1):
+        if capacity <= 0:
+            raise SimulationError("resource capacity must be positive")
+        self.sim = sim
+        self.capacity = capacity
+        self.in_use = 0
+        self._waiters: Deque[Process] = deque()
+
+    def acquire(self) -> ResourceAcquire:
+        return ResourceAcquire(self)
+
+    def release(self) -> None:
+        if self.in_use <= 0:
+            raise SimulationError("release without acquire")
+        self.in_use -= 1
+        if self._waiters:
+            process = self._waiters.popleft()
+            self.in_use += 1
+            self.sim.call_in(0.0, process._resume, None)
+
+    @property
+    def available(self) -> int:
+        return self.capacity - self.in_use
+
+    def _register(self, process: Process) -> None:
+        if self.in_use < self.capacity:
+            self.in_use += 1
+            self.sim.call_in(0.0, process._resume, None)
+        else:
+            self._waiters.append(process)

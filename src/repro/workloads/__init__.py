@@ -1,0 +1,19 @@
+"""Workload generators shared by the experiment harnesses."""
+
+from .generators import (
+    KEY_SPACE,
+    KvWorkload,
+    TwitterWorkload,
+    TxnWorkload,
+    payload_factory,
+    value_bytes_for_packet,
+)
+
+__all__ = [
+    "KEY_SPACE",
+    "KvWorkload",
+    "TwitterWorkload",
+    "TxnWorkload",
+    "payload_factory",
+    "value_bytes_for_packet",
+]

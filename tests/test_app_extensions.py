@@ -1,0 +1,150 @@
+"""Deeper application-behaviour tests: failover, caching, checkpointing."""
+
+import pytest
+
+from repro.apps.dt import DtCoordinatorNode, DtParticipantNode
+from repro.apps.rkv import RkvNode
+from repro.core import SchedulerConfig
+from repro.experiments.testbed import make_testbed
+from repro.net import Packet
+from repro.nic import LIQUIDIO_CN2350
+
+
+def _cluster(bed, nodes=("s0", "s1", "s2")):
+    rkv = {}
+    for name in nodes:
+        server = bed.add_server(name, LIQUIDIO_CN2350,
+                                config=SchedulerConfig(migration_enabled=False))
+        rkv[name] = RkvNode(server.runtime, [n for n in nodes if n != name],
+                            initial_leader=nodes[0])
+    return rkv
+
+
+def test_rkv_leader_failover_preserves_data():
+    bed = make_testbed()
+    replies = []
+    bed.network.attach("client", lambda p: replies.append(p))
+    rkv = _cluster(bed)
+
+    def put(key, value, seq):
+        pkt = Packet("client", "s0", 256, kind="rkv-put",
+                     payload={"key": key, "value": value},
+                     created_at=bed.sim.now)
+        pkt.meta["client"] = ("client", seq)
+        bed.network.send(pkt)
+
+    for i in range(5):
+        put(f"k{i}", b"v", seq=i)
+        bed.sim.run(until=bed.sim.now + 400.0)
+    bed.sim.run(until=bed.sim.now + 1_000.0)
+    assert len(replies) == 5
+
+    # the leader "fails": s1 runs an election and takes over
+    rkv["s1"].paxos.start_election()
+    # elections run over the wire via the consensus actors; drive them by
+    # triggering a paxos exchange (the election messages were sent through
+    # the last execution context, which is live)
+    bed.sim.run(until=bed.sim.now + 2_000.0)
+    assert rkv["s1"].paxos.is_leader
+
+    # new writes through the new leader commit and old data survives
+    pkt = Packet("client", "s1", 256, kind="rkv-put",
+                 payload={"key": "after", "value": b"failover"},
+                 created_at=bed.sim.now)
+    pkt.meta["client"] = ("client", 99)
+    bed.network.send(pkt)
+    bed.sim.run(until=bed.sim.now + 2_000.0)
+    assert rkv["s1"].memtable.get("after") == b"failover"
+    for i in range(5):
+        assert rkv["s1"].memtable.get(f"k{i}") == b"v"
+
+
+def test_dt_response_cache_records_outcomes():
+    bed = make_testbed()
+    replies = []
+    bed.network.attach("client", lambda p: replies.append(p))
+    coord_srv = bed.add_server("c0", LIQUIDIO_CN2350,
+                               config=SchedulerConfig(migration_enabled=False))
+    for name in ("p0", "p1"):
+        server = bed.add_server(name, LIQUIDIO_CN2350,
+                                config=SchedulerConfig(migration_enabled=False))
+        DtParticipantNode(server.runtime)
+    coord = DtCoordinatorNode(coord_srv.runtime, ["p0", "p1"])
+
+    pkt = Packet("client", "c0", 256, kind="dt-txn",
+                 payload={"reads": [], "writes": {"x": b"1"}},
+                 created_at=bed.sim.now)
+    pkt.meta["client"] = ("client", 0)
+    bed.network.send(pkt)
+    bed.sim.run(until=3_000.0)
+    assert replies and replies[0].payload["status"] == "committed"
+    # §4: responses of outstanding transactions are cached for retries
+    assert len(coord.coordinator.response_cache) == 1
+    (txn_id, (committed, _values)), = coord.coordinator.response_cache.items()
+    assert committed
+
+
+def test_dt_log_checkpoint_reaches_host_logger():
+    bed = make_testbed()
+    replies = []
+    bed.network.attach("client", lambda p: replies.append(p))
+    coord_srv = bed.add_server("c0", LIQUIDIO_CN2350,
+                               config=SchedulerConfig(migration_enabled=False))
+    for name in ("p0", "p1"):
+        server = bed.add_server(name, LIQUIDIO_CN2350,
+                                config=SchedulerConfig(migration_enabled=False))
+        DtParticipantNode(server.runtime)
+    # tiny log segment → checkpoint after a couple of transactions
+    coord = DtCoordinatorNode(coord_srv.runtime, ["p0", "p1"],
+                              log_segment_bytes=100)
+
+    for i in range(6):
+        pkt = Packet("client", "c0", 256, kind="dt-txn",
+                     payload={"reads": [], "writes": {f"k{i}": b"v" * 16}},
+                     created_at=bed.sim.now)
+        pkt.meta["client"] = ("client", i)
+        bed.network.send(pkt)
+        bed.sim.run(until=bed.sim.now + 500.0)
+    bed.sim.run(until=bed.sim.now + 3_000.0)
+
+    assert coord.log.checkpointed_segments >= 1
+    # the host-pinned logging actor persisted the sealed segments
+    assert coord_srv.runtime.storage.writes >= 1
+    assert len(replies) == 6
+
+
+def test_rkv_reads_after_flush_served_from_frozen_runs():
+    bed = make_testbed()
+    replies = []
+    bed.network.attach("client", lambda p: replies.append(p))
+    # small memtable: every few writes trigger a freeze
+    nodes = ("s0", "s1", "s2")
+    rkv = {}
+    for name in nodes:
+        server = bed.add_server(name, LIQUIDIO_CN2350,
+                                config=SchedulerConfig(migration_enabled=False))
+        rkv[name] = RkvNode(server.runtime, [n for n in nodes if n != name],
+                            initial_leader="s0", memtable_limit=1_500)
+
+    for i in range(12):
+        pkt = Packet("client", "s0", 256, kind="rkv-put",
+                     payload={"key": f"key{i:02d}", "value": b"x" * 80},
+                     created_at=bed.sim.now)
+        pkt.meta["client"] = ("client", i)
+        bed.network.send(pkt)
+        bed.sim.run(until=bed.sim.now + 400.0)
+    bed.sim.run(until=bed.sim.now + 10_000.0)
+    leader = rkv["s0"]
+    assert leader.storage.lsm.stats.flushes >= 1
+
+    replies.clear()
+    for i in range(12):
+        pkt = Packet("client", "s0", 256, kind="rkv-get",
+                     payload={"key": f"key{i:02d}"}, created_at=bed.sim.now)
+        pkt.meta["client"] = ("client", 100 + i)
+        bed.network.send(pkt)
+        bed.sim.run(until=bed.sim.now + 400.0)
+    bed.sim.run(until=bed.sim.now + 5_000.0)
+    assert len(replies) == 12
+    assert all(r.payload["status"] == "ok" and r.payload["value"] == b"x" * 80
+               for r in replies)

@@ -1,0 +1,149 @@
+"""Tests for the software-managed object cache and the IOKernel option."""
+
+import pytest
+
+from repro.core import Actor, IoKernel, SchedulerConfig, SoftwareObjectCache
+from repro.experiments.testbed import make_testbed
+from repro.nic import LIQUIDIO_CN2350, STINGRAY_PS225, WorkloadProfile
+from repro.nic.calibration import HW_SHARED_QUEUE_SYNC_US, SW_SHARED_QUEUE_SYNC_US
+
+
+# -- software object cache ----------------------------------------------------
+
+def test_cache_hit_after_fetch():
+    backing = {"k": 1}
+    cache = SoftwareObjectCache(capacity=4, fetch=backing.get)
+    assert cache.get("k") == 1     # miss → fetch
+    assert cache.get("k") == 1     # hit
+    assert cache.hits == 1 and cache.misses == 1
+    assert cache.hit_ratio == 0.5
+
+
+def test_cache_write_through():
+    backing = {}
+    cache = SoftwareObjectCache(capacity=4, fetch=backing.get,
+                                write_back=backing.__setitem__)
+    cache.put("k", 42)
+    assert backing["k"] == 42
+    assert cache.peek("k") == 42
+    cache.put("l", 7, write_through=False)
+    assert "l" not in backing
+    assert cache.write_throughs == 1
+
+
+def test_cache_lru_eviction():
+    cache = SoftwareObjectCache(capacity=2)
+    cache.put("a", 1, write_through=False)
+    cache.put("b", 2, write_through=False)
+    cache.put("c", 3, write_through=False)
+    assert cache.peek("a") is None
+    assert cache.evictions == 1
+
+
+def test_cache_epoch_invalidation_is_total():
+    fetched = []
+    cache = SoftwareObjectCache(capacity=8,
+                                fetch=lambda k: fetched.append(k) or k)
+    cache.put("x", 1, write_through=False)
+    cache.invalidate_all()
+    assert cache.peek("x") is None
+    assert len(cache) == 0
+    # a get after the epoch bump refetches
+    cache.get("x")
+    assert fetched == ["x"]
+
+
+def test_cache_single_key_invalidate():
+    cache = SoftwareObjectCache(capacity=8)
+    cache.put("x", 1, write_through=False)
+    cache.invalidate("x")
+    assert cache.peek("x") is None
+
+
+def test_cache_rejects_zero_capacity():
+    with pytest.raises(ValueError):
+        SoftwareObjectCache(capacity=0)
+
+
+# -- IOKernel ---------------------------------------------------------------------
+
+def _echo(actor, msg, ctx):
+    yield ctx.compute(us=2.0)
+    if msg.packet is not None:
+        ctx.reply(msg, size=msg.size)
+
+
+def test_iokernel_rejects_on_path_nic():
+    bed = make_testbed()
+    server = bed.add_server("server", LIQUIDIO_CN2350)
+    with pytest.raises(ValueError):
+        IoKernel(server.runtime, cores=1)
+
+
+def test_iokernel_restores_hardware_like_sync_cost():
+    bed = make_testbed(bandwidth_gbps=25)
+    server = bed.add_server("server", STINGRAY_PS225,
+                            config=SchedulerConfig(migration_enabled=False))
+    assert server.nic.traffic_manager.dequeue_sync_us == SW_SHARED_QUEUE_SYNC_US
+    IoKernel(server.runtime, cores=1)
+    assert server.nic.traffic_manager.dequeue_sync_us == HW_SHARED_QUEUE_SYNC_US
+
+
+def test_iokernel_dispatches_and_serves_traffic():
+    bed = make_testbed(bandwidth_gbps=25)
+    server = bed.add_server("server", STINGRAY_PS225,
+                            config=SchedulerConfig(migration_enabled=False))
+    actor = Actor("echo", _echo, concurrent=True,
+                  profile=WorkloadProfile("e", 2.0, 1.2, 0.5))
+    server.runtime.register_actor(actor, steering_keys=["data"])
+    iok = IoKernel(server.runtime, cores=1)
+    client = bed.add_client("client")
+    gen = client.closed_loop(dst="server", clients=8, size=256)
+    bed.sim.run(until=5_000.0)
+    gen.stop()
+    iok.stop()
+    server.runtime.stop()
+    assert gen.completed > 200
+    assert iok.dispatched >= gen.completed
+    # one scheduler core is parked on dispatch duty
+    assert server.runtime.nic_scheduler.core_mode[-1] == "iokernel"
+    sched = server.runtime.nic_scheduler
+    assert sched.fcfs_cores() + sched.drr_cores() == STINGRAY_PS225.cores - 1
+
+
+def test_iokernel_cannot_take_every_core():
+    bed = make_testbed(bandwidth_gbps=25)
+    server = bed.add_server("server", STINGRAY_PS225)
+    with pytest.raises(ValueError):
+        IoKernel(server.runtime, cores=STINGRAY_PS225.cores)
+
+
+def test_iokernel_vs_shuffle_queue_tradeoff():
+    """§3.2.6: both software substitutes work; the IOKernel buys a cheap
+    shared queue at the price of dedicated dispatch core(s)."""
+
+    def run(use_iokernel):
+        bed = make_testbed(bandwidth_gbps=25)
+        server = bed.add_server(
+            "server", STINGRAY_PS225,
+            config=SchedulerConfig(migration_enabled=False,
+                                   downgrade_enabled=False,
+                                   autoscale=False))
+        actor = Actor("echo", _echo, concurrent=True,
+                      profile=WorkloadProfile("e", 2.0, 1.2, 0.5))
+        server.runtime.register_actor(actor, steering_keys=["data"])
+        iok = IoKernel(server.runtime, cores=1) if use_iokernel else None
+        client = bed.add_client("client")
+        gen = client.closed_loop(dst="server", clients=16, size=256)
+        bed.sim.run(until=8_000.0)
+        gen.stop()
+        if iok:
+            iok.stop()
+        server.runtime.stop()
+        return gen.latency.mean, gen.completed
+
+    shuffle_lat, shuffle_ops = run(False)
+    iok_lat, iok_ops = run(True)
+    # both serve the workload; latencies are within the same ballpark
+    assert shuffle_ops > 500 and iok_ops > 500
+    assert 0.5 < iok_lat / shuffle_lat < 2.0

@@ -1,0 +1,44 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, main
+
+
+def test_list_prints_every_experiment(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out.splitlines()
+    assert set(out) == set(EXPERIMENTS)
+
+
+def test_unknown_experiment_errors(capsys):
+    assert main(["fig99"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_table_experiments_print(capsys):
+    assert main(["table1", "table2", "table3"]) == 0
+    out = capsys.readouterr().out
+    assert "LiquidIOII CN2350" in out
+    assert "8.3" in out               # Table 2 L1 latency
+    assert "flow_classifier" in out   # Table 3 workload
+
+
+def test_fig2_fig4_print_series(capsys):
+    assert main(["fig2", "fig4"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 2" in out and "1500B" in out
+    assert "Figure 4" in out
+
+
+def test_fig6_to_10_print(capsys):
+    assert main(["fig6", "fig7-10"]) == 0
+    out = capsys.readouterr().out
+    assert "DPDK-send" in out
+    assert "RDMA one-sided read" in out
+
+
+def test_quick_fig17_runs(capsys):
+    assert main(["fig17", "--quick"]) == 0
+    out = capsys.readouterr().out
+    assert "w/o iPipe" in out

@@ -1,0 +1,252 @@
+"""Tests for the distributed transaction system: store, OCC/2PC, actors."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.dt import (
+    CoordinatorLog,
+    ExtensibleHashTable,
+    LogRecord,
+    TxnCoordinator,
+    TxnParticipant,
+    DtCoordinatorNode,
+    DtParticipantNode,
+)
+from repro.core import SchedulerConfig
+from repro.experiments.testbed import make_testbed
+from repro.net import Packet
+from repro.nic import LIQUIDIO_CN2350
+
+
+# -- extensible hash table ----------------------------------------------------
+
+def test_hashtable_put_get_versions():
+    table = ExtensibleHashTable()
+    assert table.put("k", b"v1") == 1
+    assert table.put("k", b"v2") == 2
+    assert table.get("k") == (b"v2", 2)
+    assert table.get("nope") is None
+
+
+def test_hashtable_grows_directory():
+    table = ExtensibleHashTable(initial_buckets=2)
+    for i in range(64):
+        table.put(f"key{i}", b"v")
+    assert table.resizes >= 1
+    assert table.buckets > 2
+    for i in range(64):
+        assert table.get(f"key{i}") == (b"v", 1)
+
+
+def test_hashtable_rejects_non_power_of_two():
+    with pytest.raises(ValueError):
+        ExtensibleHashTable(initial_buckets=3)
+
+
+def test_hashtable_locks():
+    table = ExtensibleHashTable()
+    assert table.try_lock("k", "txn-1")
+    assert table.is_locked("k")
+    assert not table.try_lock("k", "txn-2")
+    assert table.try_lock("k", "txn-1")  # re-entrant for the owner
+    table.unlock("k", "txn-2")           # non-owner unlock is a no-op
+    assert table.is_locked("k")
+    table.unlock("k", "txn-1")
+    assert not table.is_locked("k")
+
+
+def test_hashtable_commit_requires_lock():
+    table = ExtensibleHashTable()
+    with pytest.raises(RuntimeError):
+        table.commit_write("k", b"v", "txn-9")
+    table.try_lock("k", "txn-9")
+    version = table.commit_write("k", b"v", "txn-9")
+    assert version == 1
+    assert not table.is_locked("k")
+
+
+# -- OCC + 2PC (direct wiring) ------------------------------------------------------
+
+class DirectCluster:
+    def __init__(self, participants=("p0", "p1")):
+        self.queue = []
+        self.parts = {
+            name: TxnParticipant(name, send=self._enqueue)
+            for name in participants
+        }
+        self.coord = TxnCoordinator(
+            "coord", list(participants), send=self._enqueue)
+        self.results = []
+
+    def _enqueue(self, dst, msg):
+        self.queue.append((dst, msg))
+
+    def run(self):
+        while self.queue:
+            dst, msg = self.queue.pop(0)
+            if dst == "coord":
+                self.coord.handle(msg)
+            else:
+                self.parts[dst].handle(msg)
+
+    def txn(self, reads, writes):
+        self.coord.begin(reads, writes,
+                         lambda ok, vals: self.results.append((ok, vals)))
+        self.run()
+        return self.results[-1]
+
+
+def _store_of(cluster, key):
+    owner = cluster.coord.owner_of(key)
+    return cluster.parts[owner].store
+
+
+def test_txn_write_then_read():
+    cluster = DirectCluster()
+    ok, _ = cluster.txn([], {"x": b"42"})
+    assert ok
+    ok, values = cluster.txn(["x"], {})
+    assert ok and values["x"] == b"42"
+
+
+def test_txn_commit_point_is_log(monkeypatch):
+    cluster = DirectCluster()
+    records = []
+    cluster.coord.log_append = records.append
+    ok, _ = cluster.txn([], {"k": b"v"})
+    assert ok
+    assert len(records) == 1
+    assert records[0].writes == {"k": b"v"}
+
+
+def test_txn_aborts_on_locked_key():
+    cluster = DirectCluster()
+    cluster.txn([], {"x": b"1"})
+    # lock x behind the coordinator's back
+    _store_of(cluster, "x").try_lock("x", "intruder")
+    ok, _ = cluster.txn(["x"], {"x": b"2"})
+    assert not ok
+    assert cluster.coord.aborted == 1
+    # the intruder's lock survives; the store value is unchanged
+    assert _store_of(cluster, "x").get("x") == (b"1", 1)
+
+
+def test_txn_abort_releases_own_locks():
+    cluster = DirectCluster()
+    cluster.txn([], {"a": b"1"})
+    _store_of(cluster, "a").try_lock("a", "intruder")
+    ok, _ = cluster.txn(["a"], {"b": b"2"})  # aborts on read lock
+    assert not ok
+    # b's lock from the aborted txn must be released
+    assert not _store_of(cluster, "b").is_locked("b")
+
+
+def test_txn_validation_catches_version_change():
+    cluster = DirectCluster()
+    cluster.txn([], {"x": b"1"})
+    coord = cluster.coord
+
+    # interleave: start txn A, then commit txn B changing x between A's
+    # phase 1 and validation.
+    state_holder = []
+    coord.begin(["x"], {"y": b"A"},
+                lambda ok, vals: state_holder.append(ok))
+    # process only phase-1 messages
+    phase1 = [m for m in cluster.queue]
+    cluster.queue = []
+    replies = []
+    for dst, msg in phase1:
+        part = cluster.parts[dst]
+        part.send = lambda d, m: replies.append((d, m))
+        part.handle(msg)
+        part.send = cluster._enqueue
+    # now another transaction commits a new version of x
+    cluster.txn([], {"x": b"CHANGED"})
+    # deliver A's phase-1 replies → triggers validation → abort
+    for dst, msg in replies:
+        coord.handle(msg)
+    cluster.run()
+    assert state_holder == [False]
+
+
+def test_txn_read_own_partition_values():
+    cluster = DirectCluster(participants=("p0", "p1", "p2"))
+    for i in range(9):
+        cluster.txn([], {f"key{i}": str(i).encode()})
+    ok, values = cluster.txn([f"key{i}" for i in range(9)], {})
+    assert ok
+    assert values == {f"key{i}": str(i).encode() for i in range(9)}
+
+
+@given(st.lists(st.tuples(st.sampled_from(["a", "b", "c", "d"]),
+                          st.binary(min_size=1, max_size=6)),
+                min_size=1, max_size=30))
+@settings(max_examples=40, deadline=None)
+def test_txn_sequential_matches_dict(writes):
+    cluster = DirectCluster()
+    expected = {}
+    for key, value in writes:
+        ok, _ = cluster.txn([], {key: value})
+        assert ok
+        expected[key] = value
+    ok, values = cluster.txn(sorted(expected), {})
+    assert ok
+    assert values == {k: expected[k] for k in expected}
+
+
+# -- coordinator log ----------------------------------------------------------------------
+
+def test_log_checkpoints_at_limit():
+    sealed = []
+    log = CoordinatorLog(segment_limit_bytes=200, on_checkpoint=sealed.append)
+    for i in range(10):
+        log.append(LogRecord(txn_id=i, writes={"k": b"v" * 20},
+                             read_versions={}))
+    assert log.checkpointed_segments >= 1
+    assert sealed and sealed[0].records
+
+
+def test_log_find_in_active_segment():
+    log = CoordinatorLog(segment_limit_bytes=1 << 20)
+    record = LogRecord(txn_id=7, writes={"k": b"v"}, read_versions={})
+    log.append(record)
+    assert log.find(7) is record
+    assert log.find(8) is None
+
+
+# -- actors over the testbed ----------------------------------------------------------------
+
+def test_dt_end_to_end_over_network():
+    bed = make_testbed()
+    replies = []
+    bed.network.attach("client", lambda p: replies.append(p))
+    coord_srv = bed.add_server("c0", LIQUIDIO_CN2350,
+                               config=SchedulerConfig(migration_enabled=False))
+    parts = {}
+    for name in ("p0", "p1"):
+        server = bed.add_server(name, LIQUIDIO_CN2350,
+                                config=SchedulerConfig(migration_enabled=False))
+        parts[name] = DtParticipantNode(server.runtime)
+    coord = DtCoordinatorNode(coord_srv.runtime, ["p0", "p1"])
+
+    def send_txn(reads, writes, seq):
+        pkt = Packet("client", "c0", 256, kind="dt-txn",
+                     payload={"reads": reads, "writes": writes},
+                     created_at=bed.sim.now)
+        pkt.meta["client"] = ("client", seq)
+        bed.network.send(pkt)
+
+    send_txn([], {"x": b"42", "y": b"7"}, seq=0)
+    bed.sim.run(until=3_000.0)
+    assert len(replies) == 1
+    assert replies[0].payload["status"] == "committed"
+
+    send_txn(["x", "y"], {"z": b"1"}, seq=1)
+    bed.sim.run(until=6_000.0)
+    assert len(replies) == 2
+    assert replies[1].payload["status"] == "committed"
+    assert replies[1].payload["values"]["x"] == b"42"
+    assert replies[1].payload["values"]["y"] == b"7"
+    assert coord.coordinator.committed == 2
+    assert coord.log.records_total == 2

@@ -1,0 +1,76 @@
+"""Tests for the host machine model and stack cost accounting."""
+
+import pytest
+
+from repro.host import HostCorePool, HostMachine, Job, StorageService, dpdk_stack, ipipe_host_stack
+from repro.nic import HOST_XEON_E5_2680
+from repro.sim import Simulator
+
+
+def test_pool_executes_jobs_and_counts_completions():
+    sim = Simulator()
+    pool = HostCorePool(sim, HOST_XEON_E5_2680, cores=2)
+    done = []
+    for i in range(4):
+        pool.submit_work(10.0, on_done=lambda i=i: done.append((i, sim.now)))
+    sim.run()
+    assert pool.completed == 4
+    # 2 cores, 4 jobs of 10 µs → makespan 20 µs
+    assert max(t for _, t in done) == pytest.approx(20.0)
+
+
+def test_pool_utilization_accounts_busy_cores():
+    sim = Simulator()
+    pool = HostCorePool(sim, HOST_XEON_E5_2680, cores=4)
+    for _ in range(8):
+        pool.submit_work(25.0)
+    sim.run(until=100.0)
+    # 8 × 25 µs = 200 µs of work over a 100 µs window on 4 cores → 2 cores
+    assert pool.cores_used(100.0) == pytest.approx(2.0, abs=0.1)
+
+
+def test_pool_queue_delay_under_overload():
+    sim = Simulator()
+    pool = HostCorePool(sim, HOST_XEON_E5_2680, cores=1)
+    for _ in range(10):
+        pool.submit_work(10.0)
+    sim.run()
+    assert pool.mean_queue_delay_us() > 0
+
+
+def test_storage_hit_miss_interleave_matches_ratio():
+    sim = Simulator()
+    storage = StorageService(sim, cache_hit_ratio=0.8, cache_hit_us=5.0,
+                             miss_us=100.0)
+    costs = [storage.read_cost_us() for _ in range(100)]
+    misses = sum(1 for c in costs if c == 100.0)
+    assert misses == 20
+
+
+def test_storage_write_cost_scales():
+    storage = StorageService(Simulator())
+    assert storage.write_cost_us(64 * 1024) > storage.write_cost_us(1024)
+    assert storage.write_cost_us(0) == 1.0  # floor
+
+
+def test_storage_validates_ratio():
+    with pytest.raises(ValueError):
+        StorageService(Simulator(), cache_hit_ratio=1.5)
+
+
+def test_machine_composition():
+    sim = Simulator()
+    box = HostMachine(sim, HOST_XEON_E5_2680, cores=4)
+    assert box.pool.num_cores == 4
+    assert box.storage.reads == 0
+
+
+def test_dpdk_stack_costs_scale_with_size():
+    stack = dpdk_stack()
+    assert stack.round_trip_cost(1024) > stack.round_trip_cost(64)
+
+
+def test_ipipe_host_stack_cheaper_than_dpdk():
+    # iPipe host messages arrive pre-parsed over the ring: less per-packet
+    # work than full DPDK descriptor processing.
+    assert ipipe_host_stack().round_trip_cost(512) < dpdk_stack().round_trip_cost(512)

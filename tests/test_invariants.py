@@ -1,0 +1,130 @@
+"""Cross-cutting invariant tests over substrate components."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.rkv import LsmTree
+from repro.core import DmoManager, Location
+from repro.net import Link, Packet, serialization_delay_us
+from repro.nic import DmaEngine, RdmaEngine
+from repro.sim import Rng, Simulator, Timeout, spawn
+
+
+# -- link FIFO invariant ---------------------------------------------------------
+
+@given(st.lists(st.integers(min_value=64, max_value=1500), min_size=1,
+                max_size=40))
+@settings(max_examples=40, deadline=None)
+def test_link_delivers_in_fifo_order(sizes):
+    sim = Simulator()
+    delivered = []
+    link = Link(sim, 10, receiver=lambda p: delivered.append(p.payload),
+                propagation_us=0.3)
+    for i, size in enumerate(sizes):
+        link.transmit(Packet("a", "b", size, payload=i))
+    sim.run()
+    assert delivered == list(range(len(sizes)))
+
+
+@given(st.lists(st.integers(min_value=64, max_value=1500), min_size=1,
+                max_size=30))
+@settings(max_examples=40, deadline=None)
+def test_link_never_exceeds_capacity(sizes):
+    """Total delivery time ≥ sum of serialization delays (no overlap)."""
+    sim = Simulator()
+    last = {}
+    link = Link(sim, 25, receiver=lambda p: last.update(t=sim.now),
+                propagation_us=0.0)
+    for size in sizes:
+        link.transmit(Packet("a", "b", size))
+    sim.run()
+    floor = sum(serialization_delay_us(25, max(s, 64)) for s in sizes)
+    assert last["t"] >= floor - 1e-9
+
+
+# -- DMA/RDMA model sanity ----------------------------------------------------------
+
+@given(st.integers(min_value=1, max_value=4096))
+@settings(max_examples=60, deadline=None)
+def test_dma_latency_monotone_and_positive(nbytes):
+    dma = DmaEngine(Simulator())
+    assert 0 < dma.read_latency_us(nbytes) <= dma.read_latency_us(nbytes + 64)
+    assert 0 < dma.write_latency_us(nbytes) <= dma.write_latency_us(nbytes + 64)
+
+
+@given(st.integers(min_value=1, max_value=4096))
+@settings(max_examples=60, deadline=None)
+def test_rdma_never_faster_than_dma(nbytes):
+    sim = Simulator()
+    dma, rdma = DmaEngine(sim), RdmaEngine(sim)
+    assert rdma.read_latency_us(nbytes) >= dma.read_latency_us(nbytes)
+    assert rdma.write_throughput_mops(nbytes) <= \
+        dma.write_throughput_mops(nbytes) + 1e-9
+
+
+@given(st.integers(min_value=0, max_value=64 << 20))
+@settings(max_examples=40, deadline=None)
+def test_bulk_transfer_nonnegative_and_monotone(nbytes):
+    dma = DmaEngine(Simulator())
+    assert dma.bulk_transfer_us(nbytes) >= 0
+    assert dma.bulk_transfer_us(nbytes + 4096) >= dma.bulk_transfer_us(nbytes)
+
+
+# -- DMO single-copy invariant ------------------------------------------------------
+
+@given(st.lists(st.sampled_from([Location.NIC, Location.HOST]), min_size=1,
+                max_size=12))
+@settings(max_examples=40, deadline=None)
+def test_dmo_object_exists_on_exactly_one_side(moves):
+    mgr = DmoManager(region_bytes=1 << 20)
+    mgr.create_region("a")
+    obj = mgr.malloc("a", 256, data="x")
+    for to in moves:
+        mgr.migrate("a", obj.object_id, to)
+        on_nic = obj.object_id in mgr.tables[Location.NIC]
+        on_host = obj.object_id in mgr.tables[Location.HOST]
+        assert on_nic != on_host
+        assert mgr.read("a", obj.object_id) == "x"
+
+
+# -- LSM sequence numbers -------------------------------------------------------------
+
+@given(st.lists(st.lists(st.tuples(st.sampled_from("abcd"),
+                                   st.binary(min_size=1, max_size=4)),
+                         min_size=1, max_size=5),
+                min_size=1, max_size=8))
+@settings(max_examples=40, deadline=None)
+def test_lsm_sequence_numbers_strictly_increase(runs):
+    lsm = LsmTree(l0_table_limit=2)
+    seqs = []
+    for run in runs:
+        dedup = {k: v for k, v in run}
+        table = lsm.flush_run([(k, v, False) for k, v in sorted(dedup.items())])
+        seqs.append(table.sequence)
+        lsm.compact_until_stable()
+    assert seqs == sorted(seqs)
+    assert len(set(seqs)) == len(seqs)
+
+
+# -- simulator determinism -------------------------------------------------------------
+
+def _chaotic_run(seed):
+    sim = Simulator()
+    rng = Rng(seed)
+    trace = []
+
+    def proc(tag):
+        for _ in range(20):
+            yield Timeout(rng.exponential(3.0))
+            trace.append((tag, round(sim.now, 9)))
+
+    for tag in range(4):
+        spawn(sim, proc(tag))
+    sim.run()
+    return trace
+
+
+def test_simulation_bitwise_deterministic():
+    assert _chaotic_run(7) == _chaotic_run(7)
+    assert _chaotic_run(7) != _chaotic_run(8)

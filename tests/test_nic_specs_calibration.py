@@ -1,0 +1,177 @@
+"""Tests for the NIC catalog and the calibration anchor tables.
+
+These tests pin the hardware models to the paper's published numbers —
+if someone retunes an anchor, the affected figure assertions here fail.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net import line_rate_pps
+from repro.nic import (
+    ALL_NICS,
+    BLUEFIELD_1M332A,
+    HOST_XEON_E5_2620,
+    HOST_XEON_E5_2680,
+    LIQUIDIO_CN2350,
+    LIQUIDIO_CN2360,
+    STINGRAY_PS225,
+    AnchorCurve,
+    echo_cost_us,
+    forward_cost_us,
+    host_for,
+    table1_rows,
+)
+from repro.nic.calibration import (
+    MESSAGE_SIZES,
+    dpdk_recv_us,
+    dpdk_send_us,
+    rdma_recv_us,
+    rdma_send_us,
+    smartnic_recv_us,
+    smartnic_send_us,
+)
+
+
+# -- Table 1 ------------------------------------------------------------------
+
+def test_catalog_contains_the_four_nics():
+    assert set(ALL_NICS) == {
+        "LiquidIOII CN2350", "LiquidIOII CN2360",
+        "BlueField 1M332A", "Stingray PS225",
+    }
+
+
+def test_table1_key_fields():
+    assert LIQUIDIO_CN2350.cores == 12 and LIQUIDIO_CN2350.freq_ghz == 1.2
+    assert LIQUIDIO_CN2360.cores == 16 and LIQUIDIO_CN2360.freq_ghz == 1.5
+    assert BLUEFIELD_1M332A.freq_ghz == 0.8 and BLUEFIELD_1M332A.dram_gb == 16
+    assert STINGRAY_PS225.freq_ghz == 3.0 and STINGRAY_PS225.l2_mb == 16
+
+
+def test_on_path_vs_off_path_classification():
+    assert LIQUIDIO_CN2350.is_on_path and LIQUIDIO_CN2360.is_on_path
+    assert not BLUEFIELD_1M332A.is_on_path and not STINGRAY_PS225.is_on_path
+
+
+def test_liquidio_runs_firmware_others_full_os():
+    assert LIQUIDIO_CN2350.runs_firmware
+    assert not STINGRAY_PS225.runs_firmware
+
+
+def test_host_pairing_matches_testbed():
+    assert host_for(LIQUIDIO_CN2350) is HOST_XEON_E5_2680
+    assert host_for(STINGRAY_PS225) is HOST_XEON_E5_2620
+
+
+def test_table1_rows_renderable():
+    rows = table1_rows()
+    assert len(rows) == 5  # header + 4 NICs
+    assert rows[0][0] == "SmartNIC model"
+
+
+def test_memory_latencies_match_table2():
+    assert LIQUIDIO_CN2350.memory.l1_ns == 8.3
+    assert LIQUIDIO_CN2350.memory.l2_ns == 55.8
+    assert LIQUIDIO_CN2350.memory.dram_ns == 115.0
+    assert LIQUIDIO_CN2350.memory.cache_line == 128
+    assert STINGRAY_PS225.memory.dram_ns == 85.3
+    assert BLUEFIELD_1M332A.memory.l2_ns == 25.6
+    assert HOST_XEON_E5_2680.memory.l3_ns == 22.4
+
+
+# -- AnchorCurve ---------------------------------------------------------------
+
+def test_anchor_curve_interpolates_linearly():
+    curve = AnchorCurve([(0, 0.0), (10, 10.0)])
+    assert curve(5) == pytest.approx(5.0)
+
+
+def test_anchor_curve_clamps_outside_range():
+    curve = AnchorCurve([(10, 1.0), (20, 2.0)])
+    assert curve(0) == 1.0
+    assert curve(100) == 2.0
+
+
+def test_anchor_curve_validates_input():
+    with pytest.raises(ValueError):
+        AnchorCurve([(1, 1.0)])
+    with pytest.raises(ValueError):
+        AnchorCurve([(2, 1.0), (1, 2.0)])
+
+
+@given(st.floats(min_value=64, max_value=1500))
+@settings(max_examples=50, deadline=None)
+def test_anchor_curve_stays_within_anchor_envelope(x):
+    curve = AnchorCurve([(64, 1.9), (256, 2.1), (1024, 2.9), (1500, 3.0)])
+    assert 1.9 <= curve(x) <= 3.0
+
+
+# -- echo cost anchors reproduce the Figure 2/3 core counts -------------------
+
+def _cores_needed(spec, size):
+    rate_pp_us = line_rate_pps(spec.bandwidth_gbps, size) / 1e6
+    cost = echo_cost_us(spec, size)
+    import math
+    return math.ceil(rate_pp_us * cost - 1e-9)
+
+
+@pytest.mark.parametrize("size,cores", [(256, 10), (512, 6), (1024, 4), (1500, 3)])
+def test_fig2_cn2350_core_counts(size, cores):
+    assert _cores_needed(LIQUIDIO_CN2350, size) == cores
+
+
+@pytest.mark.parametrize("size", [64, 128])
+def test_fig2_cn2350_small_packets_cannot_saturate(size):
+    assert _cores_needed(LIQUIDIO_CN2350, size) > LIQUIDIO_CN2350.cores
+
+
+@pytest.mark.parametrize("size,cores", [(256, 3), (512, 2), (1024, 1), (1500, 1)])
+def test_fig3_stingray_core_counts(size, cores):
+    assert _cores_needed(STINGRAY_PS225, size) == cores
+
+
+@pytest.mark.parametrize("size", [64, 128])
+def test_fig3_stingray_small_packets_cannot_saturate(size):
+    assert _cores_needed(STINGRAY_PS225, size) > STINGRAY_PS225.cores
+
+
+# -- Figure 4 computing headroom ------------------------------------------------
+
+def _headroom(spec, size):
+    rate_pp_us = line_rate_pps(spec.bandwidth_gbps, size) / 1e6
+    return spec.cores / rate_pp_us - forward_cost_us(spec, size)
+
+
+def test_fig4_headroom_cn2350():
+    assert _headroom(LIQUIDIO_CN2350, 256) == pytest.approx(2.5, abs=0.15)
+    assert _headroom(LIQUIDIO_CN2350, 1024) == pytest.approx(9.8, abs=0.3)
+
+
+def test_fig4_headroom_stingray():
+    assert _headroom(STINGRAY_PS225, 256) == pytest.approx(0.7, abs=0.1)
+    assert _headroom(STINGRAY_PS225, 1024) == pytest.approx(2.6, abs=0.15)
+
+
+# -- Figure 6 messaging ---------------------------------------------------------
+
+def test_fig6_smartnic_messaging_speedup_over_dpdk_and_rdma():
+    send_ratio = (
+        sum(dpdk_send_us(s) for s in MESSAGE_SIZES)
+        / sum(smartnic_send_us(s) for s in MESSAGE_SIZES)
+    )
+    recv_ratio = (
+        sum(rdma_recv_us(s) for s in MESSAGE_SIZES)
+        / sum(smartnic_recv_us(s) for s in MESSAGE_SIZES)
+    )
+    # Paper: 4.6x vs DPDK, 4.2x vs RDMA, averaged across packet sizes.
+    assert send_ratio == pytest.approx(4.6, abs=0.4)
+    assert recv_ratio == pytest.approx(4.2, abs=0.4)
+
+
+def test_fig6_latencies_increase_with_size():
+    for fn in (smartnic_send_us, smartnic_recv_us, dpdk_send_us,
+               dpdk_recv_us, rdma_send_us, rdma_recv_us):
+        values = [fn(s) for s in MESSAGE_SIZES]
+        assert values == sorted(values)

@@ -1,0 +1,110 @@
+"""Serializability property tests for the OCC + 2PC transaction system.
+
+The coordinator/participant machines run with interleaved message
+delivery; committed transactions must admit a serial order producing the
+same final store state, and reads must return values some committed
+transaction wrote.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.dt import TxnCoordinator, TxnParticipant
+
+
+class InterleavedCluster:
+    """Cluster whose message delivery interleaves across live txns."""
+
+    def __init__(self, participants=("p0", "p1")):
+        self.queue = []
+        self.parts = {name: TxnParticipant(name, send=self._enq)
+                      for name in participants}
+        self.coord = TxnCoordinator("coord", list(participants),
+                                    send=self._enq)
+        self.results = {}
+
+    def _enq(self, dst, msg):
+        self.queue.append((dst, msg))
+
+    def start(self, txn_spec):
+        reads, writes = txn_spec
+        txn_id = self.coord.begin(
+            list(reads), dict(writes),
+            lambda ok, vals, s=txn_spec: self.results.setdefault(id(s), (ok, vals)))
+        return txn_id
+
+    def drive(self, rnd, max_steps=10_000):
+        steps = 0
+        while self.queue and steps < max_steps:
+            idx = rnd.randrange(len(self.queue))
+            dst, msg = self.queue.pop(idx)
+            (self.coord if dst == "coord" else self.parts[dst]).handle(msg)
+            steps += 1
+
+    def store_state(self):
+        state = {}
+        for part in self.parts.values():
+            for bucket in part.store._buckets:
+                for entry in bucket:
+                    if entry.version > 0:
+                        state[entry.key] = entry.value
+        return state
+
+
+KEYS = ["a", "b", "c", "d"]
+txn_strategy = st.tuples(
+    st.lists(st.sampled_from(KEYS), max_size=2, unique=True),
+    st.dictionaries(st.sampled_from(KEYS), st.binary(min_size=1, max_size=4),
+                    max_size=2),
+)
+
+
+@given(st.lists(txn_strategy, min_size=1, max_size=8),
+       st.randoms(use_true_random=False))
+@settings(max_examples=60, deadline=None)
+def test_concurrent_txns_produce_serializable_state(txns, rnd):
+    cluster = InterleavedCluster()
+    # launch all transactions before delivering anything → full interleaving
+    specs = []
+    for spec in txns:
+        specs.append(spec)
+        cluster.start(spec)
+    cluster.drive(rnd)
+
+    # every transaction finished one way or the other
+    assert len(cluster.results) == len(set(id(s) for s in specs))
+
+    committed = [spec for spec in specs
+                 if cluster.results[id(spec)][0]]
+    final = cluster.store_state()
+    # every key in the store was written by some committed transaction
+    for key, value in final.items():
+        assert any(w.get(key) == value for _, w in committed), (key, value)
+    # every committed write-set key exists in the store
+    for _reads, writes in committed:
+        for key in writes:
+            assert key in final
+
+    # no locks leak after quiescence
+    for part in cluster.parts.values():
+        for bucket in part.store._buckets:
+            for entry in bucket:
+                assert entry.locked_by is None
+
+
+@given(st.lists(txn_strategy, min_size=2, max_size=6),
+       st.randoms(use_true_random=False))
+@settings(max_examples=40, deadline=None)
+def test_aborted_txns_leave_no_trace(txns, rnd):
+    cluster = InterleavedCluster()
+    for spec in txns:
+        cluster.start(spec)
+    cluster.drive(rnd)
+    aborted = [spec for spec in txns if not cluster.results[id(spec)][0]]
+    committed = [spec for spec in txns if cluster.results[id(spec)][0]]
+    final = cluster.store_state()
+    for _reads, writes in aborted:
+        for key, value in writes.items():
+            if key in final:
+                # the value must come from a committed txn, not this abort
+                assert any(w.get(key) == final[key] for _, w in committed)

@@ -1,0 +1,99 @@
+"""Property-based tests: Paxos safety under adversarial message schedules."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.rkv import MultiPaxosNode
+
+
+class ShuffledCluster:
+    """Paxos cluster whose message delivery order/drops are driven by a
+    hypothesis-provided schedule."""
+
+    def __init__(self, n: int):
+        self.names = [f"n{i}" for i in range(n)]
+        self.queue = []
+        self.applied = {name: [] for name in self.names}
+        self.nodes = {}
+        for name in self.names:
+            peers = [p for p in self.names if p != name]
+            self.nodes[name] = MultiPaxosNode(
+                name, peers,
+                send=lambda dst, m, src=name: self.queue.append((dst, m)),
+                on_commit=lambda i, v, nm=name: self.applied[nm].append((i, v)),
+                initial_leader="n0")
+
+    def drive(self, schedule, drop_mod: int):
+        """Deliver messages in a schedule-driven order, dropping some."""
+        steps = 0
+        while self.queue and steps < 5000:
+            idx = schedule.draw_index(len(self.queue)) if hasattr(
+                schedule, "draw_index") else 0
+            dst, msg = self.queue.pop(idx % len(self.queue))
+            steps += 1
+            if drop_mod and steps % drop_mod == 0:
+                continue  # drop this message
+            self.nodes[dst].handle(msg)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=100), min_size=1,
+                max_size=12),
+       st.integers(min_value=0, max_value=7),
+       st.randoms(use_true_random=False))
+@settings(max_examples=60, deadline=None)
+def test_paxos_agreement_under_reordering_and_drops(commands, drop_mod, rnd):
+    """Safety: no two replicas ever apply different values at an instance,
+    and applied sequences are prefixes of each other."""
+    cluster = ShuffledCluster(3)
+    for command in commands:
+        cluster.nodes["n0"].client_request(command)
+
+    steps = 0
+    while cluster.queue and steps < 5000:
+        idx = rnd.randrange(len(cluster.queue))
+        dst, msg = cluster.queue.pop(idx)
+        steps += 1
+        if drop_mod and steps % drop_mod == 0:
+            continue
+        cluster.nodes[dst].handle(msg)
+
+    sequences = [cluster.applied[name] for name in cluster.names]
+    # prefix consistency: same (instance, value) at every shared position
+    min_len = min(len(s) for s in sequences)
+    for pos in range(min_len):
+        assert sequences[0][pos] == sequences[1][pos] == sequences[2][pos]
+    # instances apply in order 0,1,2,... on every replica
+    for seq in sequences:
+        assert [i for i, _ in seq] == list(range(len(seq)))
+
+
+@given(st.lists(st.integers(min_value=0, max_value=50), min_size=1, max_size=8),
+       st.randoms(use_true_random=False))
+@settings(max_examples=40, deadline=None)
+def test_paxos_election_never_loses_committed_values(commands, rnd):
+    """After any committed prefix, a leader change preserves that prefix."""
+    cluster = ShuffledCluster(3)
+    for command in commands:
+        cluster.nodes["n0"].client_request(command)
+    # deliver everything reliably first → all committed
+    while cluster.queue:
+        dst, msg = cluster.queue.pop(0)
+        cluster.nodes[dst].handle(msg)
+    committed_prefix = list(cluster.applied["n1"])
+
+    # n1 takes over leadership with random delivery order
+    cluster.nodes["n1"].start_election()
+    steps = 0
+    while cluster.queue and steps < 5000:
+        idx = rnd.randrange(len(cluster.queue))
+        dst, msg = cluster.queue.pop(idx)
+        cluster.nodes[dst].handle(msg)
+        steps += 1
+    cluster.nodes["n1"].client_request("post-election")
+    while cluster.queue:
+        dst, msg = cluster.queue.pop(0)
+        cluster.nodes[dst].handle(msg)
+
+    after = cluster.applied["n1"]
+    assert after[: len(committed_prefix)] == committed_prefix
+    assert any(v == "post-election" for _, v in after)

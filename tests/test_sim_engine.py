@@ -1,0 +1,118 @@
+"""Unit tests for the DES engine."""
+
+import pytest
+
+from repro.sim import SimulationError, Simulator
+
+
+def test_time_starts_at_zero():
+    sim = Simulator()
+    assert sim.now == 0.0
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    order = []
+    sim.call_at(10.0, order.append, "late")
+    sim.call_at(1.0, order.append, "early")
+    sim.call_at(5.0, order.append, "middle")
+    sim.run()
+    assert order == ["early", "middle", "late"]
+
+
+def test_ties_broken_by_insertion_order():
+    sim = Simulator()
+    order = []
+    for tag in "abc":
+        sim.call_at(3.0, order.append, tag)
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_now_reflects_current_event_time():
+    sim = Simulator()
+    seen = []
+    sim.call_at(7.5, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [7.5]
+
+
+def test_call_in_is_relative():
+    sim = Simulator()
+    times = []
+    def chain():
+        times.append(sim.now)
+        if sim.now < 4:
+            sim.call_in(2.0, chain)
+    sim.call_in(2.0, chain)
+    sim.run()
+    assert times == [2.0, 4.0]
+
+
+def test_run_until_stops_before_future_events():
+    sim = Simulator()
+    fired = []
+    sim.call_at(100.0, fired.append, "x")
+    sim.run(until=50.0)
+    assert fired == []
+    assert sim.now == 50.0
+    sim.run()
+    assert fired == ["x"]
+
+
+def test_run_until_advances_time_with_empty_heap():
+    sim = Simulator()
+    sim.run(until=123.0)
+    assert sim.now == 123.0
+
+
+def test_scheduling_into_the_past_is_an_error():
+    sim = Simulator()
+    sim.call_at(10.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.call_at(5.0, lambda: None)
+
+
+def test_negative_delay_is_an_error():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.call_in(-1.0, lambda: None)
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    fired = []
+    handle = sim.call_at(1.0, fired.append, "x")
+    handle.cancel()
+    sim.run()
+    assert fired == []
+    assert not handle.fired
+
+
+def test_events_scheduled_during_run_are_executed():
+    sim = Simulator()
+    fired = []
+    sim.call_at(1.0, lambda: sim.call_in(1.0, fired.append, sim.now + 1.0))
+    sim.run()
+    assert fired == [2.0]
+
+
+def test_pending_counts_live_events():
+    sim = Simulator()
+    h1 = sim.call_at(1.0, lambda: None)
+    sim.call_at(2.0, lambda: None)
+    assert sim.pending() == 2
+    h1.cancel()
+    assert sim.pending() == 1
+
+
+def test_step_executes_one_event():
+    sim = Simulator()
+    fired = []
+    sim.call_at(1.0, fired.append, 1)
+    sim.call_at(2.0, fired.append, 2)
+    assert sim.step()
+    assert fired == [1]
+    assert sim.step()
+    assert not sim.step()

@@ -1,0 +1,241 @@
+"""Unit tests for generator processes, signals, stores and resources."""
+
+import pytest
+
+from repro.sim import (
+    Resource,
+    Signal,
+    SimulationError,
+    Simulator,
+    Store,
+    Timeout,
+    all_of,
+    spawn,
+)
+
+
+def test_timeout_advances_virtual_time():
+    sim = Simulator()
+    marks = []
+
+    def body():
+        marks.append(sim.now)
+        yield Timeout(5.0)
+        marks.append(sim.now)
+        yield Timeout(2.5)
+        marks.append(sim.now)
+
+    spawn(sim, body())
+    sim.run()
+    assert marks == [0.0, 5.0, 7.5]
+
+
+def test_process_join_returns_result():
+    sim = Simulator()
+    results = []
+
+    def worker():
+        yield Timeout(3.0)
+        return "done"
+
+    def parent():
+        value = yield spawn(sim, worker())
+        results.append((sim.now, value))
+
+    spawn(sim, parent())
+    sim.run()
+    assert results == [(3.0, "done")]
+
+
+def test_joining_finished_process_resumes_immediately():
+    sim = Simulator()
+    results = []
+
+    def worker():
+        return 42
+        yield  # pragma: no cover
+
+    def parent():
+        proc = spawn(sim, worker())
+        yield Timeout(10.0)
+        value = yield proc
+        results.append(value)
+
+    spawn(sim, parent())
+    sim.run()
+    assert results == [42]
+
+
+def test_signal_wakes_all_waiters():
+    sim = Simulator()
+    sig = Signal(sim)
+    woken = []
+
+    def waiter(tag):
+        value = yield sig
+        woken.append((tag, value, sim.now))
+
+    spawn(sim, waiter("a"))
+    spawn(sim, waiter("b"))
+    sim.call_at(4.0, sig.trigger, "payload")
+    sim.run()
+    assert sorted(woken) == [("a", "payload", 4.0), ("b", "payload", 4.0)]
+
+
+def test_signal_double_trigger_is_error():
+    sim = Simulator()
+    sig = Signal(sim)
+    sig.trigger()
+    with pytest.raises(SimulationError):
+        sig.trigger()
+
+
+def test_store_get_blocks_until_put():
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def consumer():
+        item = yield store.get()
+        got.append((item, sim.now))
+
+    spawn(sim, consumer())
+    sim.call_at(6.0, store.put_nowait, "pkt")
+    sim.run()
+    assert got == [("pkt", 6.0)]
+
+
+def test_store_is_fifo_for_items_and_getters():
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def consumer(tag):
+        item = yield store.get()
+        got.append((tag, item))
+
+    spawn(sim, consumer("first"))
+    spawn(sim, consumer("second"))
+    store.put_nowait(1)
+    store.put_nowait(2)
+    sim.run()
+    assert got == [("first", 1), ("second", 2)]
+
+
+def test_bounded_store_blocks_putter():
+    sim = Simulator()
+    store = Store(sim, capacity=1)
+    log = []
+
+    def producer():
+        yield store.put("a")
+        log.append(("put-a", sim.now))
+        yield store.put("b")
+        log.append(("put-b", sim.now))
+
+    def consumer():
+        yield Timeout(5.0)
+        item = yield store.get()
+        log.append(("got", item, sim.now))
+
+    spawn(sim, producer())
+    spawn(sim, consumer())
+    sim.run()
+    assert ("put-a", 0.0) in log
+    put_b = [entry for entry in log if entry[0] == "put-b"]
+    assert put_b and put_b[0][1] == 5.0
+
+
+def test_store_put_nowait_full_raises():
+    sim = Simulator()
+    store = Store(sim, capacity=1)
+    store.put_nowait("x")
+    with pytest.raises(SimulationError):
+        store.put_nowait("y")
+
+
+def test_store_try_get_nowait():
+    sim = Simulator()
+    store = Store(sim)
+    assert store.try_get_nowait() is None
+    store.put_nowait(9)
+    assert store.try_get_nowait() == 9
+
+
+def test_resource_serializes_access():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    spans = []
+
+    def user(tag, hold):
+        yield res.acquire()
+        start = sim.now
+        yield Timeout(hold)
+        res.release()
+        spans.append((tag, start, sim.now))
+
+    spawn(sim, user("a", 4.0))
+    spawn(sim, user("b", 2.0))
+    sim.run()
+    assert spans == [("a", 0.0, 4.0), ("b", 4.0, 6.0)]
+
+
+def test_resource_capacity_allows_parallelism():
+    sim = Simulator()
+    res = Resource(sim, capacity=2)
+    ends = []
+
+    def user(hold):
+        yield res.acquire()
+        yield Timeout(hold)
+        res.release()
+        ends.append(sim.now)
+
+    for _ in range(2):
+        spawn(sim, user(3.0))
+    sim.run()
+    assert ends == [3.0, 3.0]
+
+
+def test_resource_release_without_acquire_raises():
+    sim = Simulator()
+    res = Resource(sim)
+    with pytest.raises(SimulationError):
+        res.release()
+
+
+def test_all_of_waits_for_every_process():
+    sim = Simulator()
+    out = []
+
+    def worker(delay, value):
+        yield Timeout(delay)
+        return value
+
+    procs = [spawn(sim, worker(d, d * 10)) for d in (1.0, 3.0, 2.0)]
+    done = all_of(sim, procs)
+
+    def waiter():
+        values = yield done
+        out.append((sim.now, values))
+
+    spawn(sim, waiter())
+    sim.run()
+    assert out == [(3.0, [10.0, 30.0, 20.0])]
+
+
+def test_kill_stops_process():
+    sim = Simulator()
+    marks = []
+
+    def body():
+        yield Timeout(1.0)
+        marks.append("first")
+        yield Timeout(100.0)
+        marks.append("never")
+
+    proc = spawn(sim, body())
+    sim.call_at(2.0, proc.kill)
+    sim.run()
+    assert marks == ["first"]
+    assert not proc.alive
