@@ -129,6 +129,10 @@ class RkvNode:
         yield ctx.compute(profile=CONSENSUS_PROFILE)
         if msg.kind == "paxos":
             self.paxos.handle(msg.payload)
+        elif msg.kind == "paxos-tick":
+            # liveness repair under lossy fabric: re-propose instances
+            # stranded below quorum (see MultiPaxosNode.re_propose_stalled)
+            self.paxos.re_propose_stalled()
         else:  # client write/delete
             command = dict(msg.payload)
             command["op"] = "del" if msg.kind == "rkv-del" else "put"

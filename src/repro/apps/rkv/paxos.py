@@ -149,6 +149,29 @@ class MultiPaxosNode:
                 kind="learn", sender=self.name, instance=instance,
                 ballot=self.ballot, value=entry.accepted_value))
 
+    def re_propose_stalled(self) -> int:
+        """Leader repair: re-broadcast ACCEPTs for uncommitted instances.
+
+        Message loss can strand an instance below quorum forever, which
+        stalls the contiguous apply loop (and every later instance with
+        it).  Re-proposing the already-accepted value under the same
+        ballot is idempotent — acceptors that already voted simply vote
+        again — so a periodic repair tick restores liveness without
+        touching safety.  Returns the number of instances re-proposed."""
+        if not self.is_leader:
+            return 0
+        repaired = 0
+        for instance in range(self.next_to_apply, self.next_instance):
+            entry = self._entry(instance)
+            if entry.committed or entry.accepted_value is None:
+                continue
+            self._accept_votes.setdefault(instance, {self.name})
+            self._broadcast(PaxosMessage(
+                kind="accept", sender=self.name, instance=instance,
+                ballot=self.ballot, value=entry.accepted_value))
+            repaired += 1
+        return repaired
+
     def _on_learn(self, msg: PaxosMessage) -> None:
         entry = self._entry(msg.instance)
         if not entry.committed:

@@ -1,14 +1,22 @@
 """The iPipe framework: actors, hybrid scheduler, DMO, migration, channels."""
 
 from .actor import Actor, ActorTable, Location, Message, MigrationState
-from .channel import Channel, Ring, RingFullError, message_checksum
+from .channel import Channel, ReliableChannel, Ring, RingFullError, message_checksum
 from .dmo import Dmo, DmoError, DmoManager, ObjectTable
 from .dmo_cache import SoftwareObjectCache
 from .iokernel import IOKERNEL_DISPATCH_US, IoKernel
 from .isolation import ActorKilledError, IsolationPolicy, QuotaEnforcer, Watchdog
 from .migration import MigrationReport, Migrator
 from .runtime import ExecutionContext, IPipeRuntime
-from .telemetry import ActorSnapshot, RuntimeSnapshot, SchedulerSnapshot, snapshot
+from .telemetry import (
+    ActorSnapshot,
+    ChannelSnapshot,
+    RecoverySnapshot,
+    RuntimeSnapshot,
+    SchedulerSnapshot,
+    recovery_snapshot,
+    snapshot,
+)
 from .scheduler import NicScheduler, SchedulerConfig, WorkItem
 from . import api
 
@@ -19,6 +27,7 @@ __all__ = [
     "Message",
     "MigrationState",
     "Channel",
+    "ReliableChannel",
     "Ring",
     "RingFullError",
     "message_checksum",
@@ -38,8 +47,11 @@ __all__ = [
     "ExecutionContext",
     "IPipeRuntime",
     "ActorSnapshot",
+    "ChannelSnapshot",
+    "RecoverySnapshot",
     "RuntimeSnapshot",
     "SchedulerSnapshot",
+    "recovery_snapshot",
     "snapshot",
     "NicScheduler",
     "SchedulerConfig",

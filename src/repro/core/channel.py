@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import zlib
 from collections import deque
-from typing import Callable, Deque, Optional
+from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from ..nic.dma import DmaEngine
 from ..sim import Simulator
@@ -62,6 +62,15 @@ class Ring:
         self.sync_messages = 0
         self.checksum_failures = 0
         self.corrupt_injected = 0
+        #: checksum failures signalled back to the producer side
+        self.nacks = 0
+        #: producer-side callback invoked with the discarded message when
+        #: the consumer hits a checksum mismatch (reliable delivery hook)
+        self.on_nack: Optional[Callable[[Message], None]] = None
+        #: optional FaultPlane consulted per produce (torn DMA writes)
+        self.fault_plane = None
+        #: consumer frozen until this virtual time (FaultPlane ring stall)
+        self.stalled_until = 0.0
 
     # -- producer side ------------------------------------------------------
     def produce_cost_us(self, msg: Message, batch: int = 1) -> float:
@@ -86,6 +95,12 @@ class Ring:
         if self._producer_free <= 0:
             raise RingFullError(f"{self.name} full ({self.slots} slots)")
         self._producer_free -= 1
+        plane = self.fault_plane or getattr(self.dma, "fault_plane", None)
+        if not corrupt and plane is not None and plane.tear_write(self.name):
+            corrupt = True
+            note = getattr(self.dma, "note_torn_write", None)
+            if note is not None:
+                note()
         checksum = message_checksum(msg)
         if corrupt:
             checksum ^= 0xDEADBEEF
@@ -113,10 +128,22 @@ class Ring:
             yield Timeout(poll_us)
 
     # -- consumer side ---------------------------------------------------------
+    def stall(self, duration_us: float) -> None:
+        """FaultPlane hook: freeze the consumer side (PCIe hiccup or a
+        wedged polling driver).  Produces still land; polls return None
+        until the stall expires."""
+        self.stalled_until = max(self.stalled_until, self.sim.now + duration_us)
+        # anchor virtual time so run-to-idle passes the stall expiry
+        self.sim.call_at(self.stalled_until, _noop)
+
     def poll(self) -> Optional[Message]:
-        """Non-blocking consume; returns None when the ring is empty or the
-        head message fails its checksum (torn write → retried later by the
-        producer, dropped here)."""
+        """Non-blocking consume; returns None when the ring is empty,
+        stalled, or the head message fails its checksum.  A checksum
+        failure (torn write) is dropped here but *signalled*: the nack
+        counter increments and ``on_nack`` — when wired — hands the
+        discarded message back to the producer side for retransmission."""
+        if self.stalled_until > self.sim.now:
+            return None
         if not self._buffer:
             return None
         msg, checksum, visible_at = self._buffer[0]
@@ -127,6 +154,9 @@ class Ring:
         self._note_consumed()
         if checksum != message_checksum(msg):
             self.checksum_failures += 1
+            self.nacks += 1
+            if self.on_nack is not None:
+                self.on_nack(msg)
             return None
         return msg
 
@@ -169,3 +199,161 @@ class Channel:
 
     def nic_poll(self) -> Optional[Message]:
         return self.to_nic.poll()
+
+
+class _ReliableDirection:
+    """Per-direction reliable-delivery state (one ring)."""
+
+    __slots__ = ("ring", "next_seq", "expected", "stash", "ready", "unacked")
+
+    def __init__(self, ring: Ring):
+        self.ring = ring
+        self.next_seq: Dict[str, int] = {}     # key -> next seq to assign
+        self.expected: Dict[str, int] = {}     # key -> next seq to release
+        self.stash: Dict[Tuple[str, int], Message] = {}  # out-of-order
+        self.ready: Deque[Message] = deque()   # in-order, awaiting poll
+        self.unacked: Dict[Tuple[str, int], Message] = {}
+
+
+class ReliableChannel:
+    """Sequence-numbered reliable delivery layered over a :class:`Channel`.
+
+    Every message gets a per-direction, per-steering-key sequence number
+    in ``msg.meta``.  The producer retransmits with exponential backoff
+    when the consumer nacks a checksum failure (torn DMA write) or when
+    the ring is full; the consumer releases messages strictly in
+    per-key sequence order, stashing out-of-order arrivals and dropping
+    duplicates.  Delivery into consumer memory acts as the ack (the ring
+    itself never reorders or loses slots — only torn writes lose data).
+
+    Recovery telemetry: ``retransmits``, ``ring_full_backoffs``,
+    ``recovered`` and per-message time-to-recovery samples
+    (``mttr_samples``, first failure → in-order delivery).
+    """
+
+    RETRANSMIT_BASE_US = 2.0
+    RETRANSMIT_MAX_US = 512.0
+
+    def __init__(self, channel: Channel, sim: Simulator,
+                 key_fn: Optional[Callable[[Message], str]] = None):
+        self.channel = channel
+        self.sim = sim
+        #: steering key: delivery order is guaranteed per key (per actor)
+        self.key_fn = key_fn or (lambda msg: msg.target)
+        self._dirs = {
+            "to_host": _ReliableDirection(channel.to_host),
+            "to_nic": _ReliableDirection(channel.to_nic),
+        }
+        channel.to_host.on_nack = lambda m: self._nacked("to_host", m)
+        channel.to_nic.on_nack = lambda m: self._nacked("to_nic", m)
+        self.retransmits = 0
+        self.ring_full_backoffs = 0
+        self.recovered = 0
+        self.duplicates_dropped = 0
+        self.mttr_samples: List[float] = []
+        #: direction -> callback fired when a delayed produce finally
+        #: lands (lets an event-driven consumer schedule a poll)
+        self.on_deliverable: Dict[str, Callable[[], None]] = {}
+
+    # -- producer -------------------------------------------------------------
+    def nic_send(self, msg: Message) -> None:
+        self._send("to_host", msg)
+
+    def host_send(self, msg: Message) -> None:
+        self._send("to_nic", msg)
+
+    def _send(self, direction: str, msg: Message) -> None:
+        state = self._dirs[direction]
+        key = self.key_fn(msg)
+        seq = state.next_seq.get(key, 0)
+        state.next_seq[key] = seq + 1
+        msg.meta["rel_key"] = key
+        msg.meta["rel_seq"] = seq
+        state.unacked[(key, seq)] = msg
+        self._produce(direction, msg)
+
+    def _backoff_us(self, msg: Message) -> float:
+        attempt = msg.meta.get("rel_attempts", 0)
+        return min(self.RETRANSMIT_BASE_US * (2 ** attempt),
+                   self.RETRANSMIT_MAX_US)
+
+    def _defer(self, direction: str, msg: Message) -> None:
+        msg.meta.setdefault("rel_first_fail", self.sim.now)
+        delay = self._backoff_us(msg)
+        msg.meta["rel_attempts"] = msg.meta.get("rel_attempts", 0) + 1
+        self.sim.call_in(delay, self._produce, direction, msg)
+
+    def _produce(self, direction: str, msg: Message) -> None:
+        state = self._dirs[direction]
+        key_seq = (self.key_fn(msg), msg.meta.get("rel_seq"))
+        if key_seq not in state.unacked:
+            return                 # delivered while this retry was pending
+        try:
+            state.ring.produce(msg)
+        except RingFullError:
+            self.ring_full_backoffs += 1
+            self._defer(direction, msg)
+            return
+        if msg.meta.get("rel_attempts"):
+            notify = self.on_deliverable.get(direction)
+            if notify is not None:
+                self.sim.call_in(state.ring.transfer_delay_us(msg), notify)
+
+    def _nacked(self, direction: str, msg: Message) -> None:
+        self.retransmits += 1
+        self._defer(direction, msg)
+
+    # -- consumer -------------------------------------------------------------
+    def host_poll(self) -> Optional[Message]:
+        return self._poll("to_host")
+
+    def nic_poll(self) -> Optional[Message]:
+        return self._poll("to_nic")
+
+    def _poll(self, direction: str) -> Optional[Message]:
+        state = self._dirs[direction]
+        self._drain_ring(state)
+        if state.ready:
+            return state.ready.popleft()
+        return None
+
+    def _drain_ring(self, state: _ReliableDirection) -> None:
+        while True:
+            msg = state.ring.poll()
+            if msg is None:
+                return
+            key = msg.meta.get("rel_key")
+            if key is None:
+                state.ready.append(msg)   # unsequenced traffic passes through
+                continue
+            seq = msg.meta["rel_seq"]
+            state.unacked.pop((key, seq), None)
+            expected = state.expected.get(key, 0)
+            if seq < expected:
+                self.duplicates_dropped += 1
+                continue
+            state.stash[(key, seq)] = msg
+            while (key, expected) in state.stash:
+                released = state.stash.pop((key, expected))
+                expected += 1
+                self._note_delivered(released)
+                state.ready.append(released)
+            state.expected[key] = expected
+
+    def _note_delivered(self, msg: Message) -> None:
+        first_fail = msg.meta.pop("rel_first_fail", None)
+        if first_fail is not None:
+            self.recovered += 1
+            self.mttr_samples.append(self.sim.now - first_fail)
+
+    # -- introspection --------------------------------------------------------
+    def pending(self, direction: str) -> int:
+        """Messages not yet released in order (in flight, stashed, ready)."""
+        state = self._dirs[direction]
+        return len(state.ready) + len(state.stash) + len(state.unacked)
+
+    @property
+    def mttr_mean_us(self) -> float:
+        if not self.mttr_samples:
+            return 0.0
+        return sum(self.mttr_samples) / len(self.mttr_samples)

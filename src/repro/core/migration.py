@@ -108,7 +108,15 @@ class Migrator:
         buffered = self.runtime.end_buffering(actor)
         report.forwarded_requests = len(buffered)
         from .channel import RingFullError
+        rchannel = getattr(self.runtime, "rchannel", None)
         for msg in buffered:
+            if rchannel is not None:
+                # the reliable layer owns retransmit/backoff; charge the
+                # descriptor-write cost and hand the message over
+                yield Timeout(
+                    self.runtime.channel.to_host.produce_cost_us(msg, batch=8))
+                rchannel.nic_send(msg)
+                continue
             while True:
                 yield from self.runtime.channel.to_host.wait_not_full()
                 yield Timeout(

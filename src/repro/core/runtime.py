@@ -29,8 +29,9 @@ from ..nic.cores import WorkloadProfile, time_on_host, time_on_nic
 from ..nic.device import SmartNic
 from ..nic.dma import DmaEngine
 from ..sim import Simulator, Store, Timeout, UtilizationTracker, spawn
+from ..sim.faults import RecoveryPolicy
 from .actor import Actor, ActorTable, Location, Message, MigrationState
-from .channel import Channel
+from .channel import Channel, ReliableChannel, RingFullError
 from .dmo import DmoManager
 from .migration import Migrator
 from .scheduler import NicScheduler, SchedulerConfig, WorkItem
@@ -163,7 +164,10 @@ class IPipeRuntime:
                  config: Optional[SchedulerConfig] = None,
                  host_workers: int = 2,
                  host_stack: Optional[StackCosts] = None,
-                 host_only: bool = False):
+                 host_only: bool = False,
+                 reliable: bool = False,
+                 fault_plane=None,
+                 recovery: Optional[RecoveryPolicy] = None):
         self.sim = sim
         #: When set, every registered actor is pinned to the host — the
         #: §5.5 overhead experiment's "host-only iPipe" configuration.
@@ -182,9 +186,29 @@ class IPipeRuntime:
                        else DmaEngine(sim))
         self._channel_dma = channel_dma
         self.channel = Channel(sim, channel_dma, name=f"{node_name}.chan")
+        #: optional sequence-numbered reliable-delivery layer (FaultPlane
+        #: recovery path); None keeps the seed fire-and-forget semantics
+        self.rchannel: Optional[ReliableChannel] = (
+            ReliableChannel(self.channel, sim) if reliable else None)
+        if self.rchannel is not None:
+            # wake the NIC-side poll when a backed-off host→NIC
+            # retransmit finally lands
+            self.rchannel.on_deliverable["to_nic"] = self._nic_channel_arrival
         self.dispatch_table: Dict[str, str] = {}
         self._migration_buffers: Dict[str, List[Message]] = {}
         self.migrator = Migrator(self)
+
+        #: crash / restart machinery (FaultPlane recovery path)
+        self.recovery = recovery
+        self.fault_plane = None
+        self._actor_specs: Dict[str, Dict] = {}
+        self._crashed: Dict[str, float] = {}   # name -> crash time
+        self._restart_counts: Dict[str, int] = {}
+        self.crashes = 0
+        self.restarts = 0
+        #: per-restart recovery time samples (crash → back serving)
+        self.recovery_mttr: List[float] = []
+        self._nic_poll_pending = False
 
         # host-side workers: worker 0 is the pinned communication thread
         self.host_workers = host_workers
@@ -220,7 +244,10 @@ class IPipeRuntime:
             on_pull_migration=self._pull_candidate,
             redeliver=self.deliver,
             core_util=nic.core_util,
+            on_actor_killed=self._on_actor_killed,
         )
+        if fault_plane is not None:
+            fault_plane.wire_runtime(self)
 
     # -- actor lifecycle -----------------------------------------------------------
     def register_actor(self, actor: Actor,
@@ -230,6 +257,10 @@ class IPipeRuntime:
         if self.host_only:
             actor.location = Location.HOST
             actor.pinned = True
+        self._actor_specs[actor.name] = {
+            "actor": actor,
+            "steering_keys": list(steering_keys or [actor.name]),
+        }
         self.actors.register(actor)
         self.dmo.create_region(actor.name,
                                region_bytes or max(actor.state_bytes * 2, 1 << 20))
@@ -251,6 +282,95 @@ class IPipeRuntime:
         for key in [k for k, v in self.dispatch_table.items() if v == name]:
             del self.dispatch_table[key]
         self.dmo.destroy_region(name)
+        self._actor_specs.pop(name, None)
+        self._crashed.pop(name, None)
+
+    # -- crash & restart (FaultPlane recovery path) ---------------------------
+    def crash_actor(self, name: str) -> bool:
+        """Kill an actor process, keeping its DMO region and dispatch
+        entries.  Requests arriving while it is down are buffered through
+        the migration machinery; a :class:`RecoveryPolicy` schedules the
+        restart."""
+        actor = self.actors.lookup(name)
+        if actor is None or name not in self._actor_specs:
+            return False
+        self.crashes += 1
+        self.actors.deregister(name)
+        self._mark_down(actor, restart=(
+            self.recovery is not None and self.recovery.restart_crashed))
+        return True
+
+    def _on_actor_killed(self, actor: Actor) -> None:
+        """Scheduler callback: the DoS watchdog killed this actor."""
+        if actor.name not in self._actor_specs:
+            return
+        self._mark_down(actor, restart=(
+            self.recovery is not None and self.recovery.restart_killed))
+
+    def _mark_down(self, actor: Actor, restart: bool) -> None:
+        sched = self.nic_scheduler
+        if actor in sched.drr_runnable:
+            sched.drr_runnable.remove(actor)
+        actor.is_drr = False
+        actor._locked_by = None
+        # in-flight mailbox requests survive the crash: buffer them the
+        # same way migration phase 1 does
+        buffer = self._migration_buffers.setdefault(actor.name, [])
+        while actor.mailbox:
+            buffer.append(actor.mailbox.popleft())
+        if restart:
+            self._schedule_restart(actor.name)
+
+    def _schedule_restart(self, name: str) -> None:
+        if name in self._crashed:
+            return                 # restart already pending
+        attempts = self._restart_counts.get(name, 0)
+        policy = self.recovery
+        if policy is None or attempts >= policy.max_restarts:
+            return
+        self._crashed[name] = self.sim.now
+        delay = policy.restart_delay_us * (policy.backoff_factor ** attempts)
+        self.sim.call_in(delay, self.restart_actor, name)
+
+    def restart_actor(self, name: str) -> bool:
+        """Re-deploy a crashed/killed actor with DMO-recovered state.
+
+        Reuses the migration path: the actor object re-registers with its
+        original steering keys (phase 3's re-bind) and the messages
+        buffered while it was down are re-delivered (phase 4's forward).
+        The DMO region was never torn down, so state recovery is exactly
+        a region re-attach — calling this on a live actor is a no-op,
+        which makes restart idempotent w.r.t. DMO state."""
+        spec = self._actor_specs.get(name)
+        if spec is None:
+            return False
+        fault_at = self._crashed.pop(name, None)
+        if self.actors.lookup(name) is not None:
+            return False           # already running
+        actor: Actor = spec["actor"]
+        actor.deregistered = False
+        actor.migration_state = MigrationState.RUNNING
+        actor._locked_by = None
+        actor.is_drr = False
+        actor.deficit = 0.0
+        self.actors.register(actor)
+        for key in spec["steering_keys"]:
+            self.dispatch_table.setdefault(key, name)
+        self.update_steering(actor)
+        self._restart_counts[name] = self._restart_counts.get(name, 0) + 1
+        self.restarts += 1
+        if fault_at is not None:
+            self.recovery_mttr.append(self.sim.now - fault_at)
+        for queued in self._migration_buffers.pop(name, []):
+            self.deliver(queued)
+        return True
+
+    def _buffer_for_restart(self, msg: Message) -> bool:
+        """Hold messages for an actor that is down but restartable."""
+        if msg.target in self._crashed:
+            self._migration_buffers.setdefault(msg.target, []).append(msg)
+            return True
+        return False
 
     def stop(self) -> None:
         self._running = False
@@ -284,6 +404,7 @@ class IPipeRuntime:
         """Route a message to its actor's current location."""
         actor = self.actors.lookup(msg.target)
         if actor is None:
+            self._buffer_for_restart(msg)
             return
         if actor.migration_state in (MigrationState.PREPARE, MigrationState.READY):
             self._migration_buffers.setdefault(actor.name, []).append(msg)
@@ -328,9 +449,12 @@ class IPipeRuntime:
                 switch.remove_rule(key)
 
     def _nic_send_or_drop(self, msg: Message) -> None:
-        """Cross the NIC→host ring; a full ring drops the packet, exactly
-        as a full descriptor ring does on real hardware."""
-        from .channel import RingFullError
+        """Cross the NIC→host ring.  Without the reliable layer a full
+        ring drops the packet, exactly as a full descriptor ring does on
+        real hardware; with it, the send is retried with backoff."""
+        if self.rchannel is not None:
+            self.rchannel.nic_send(msg)
+            return
         try:
             self.channel.nic_send(msg)
         except RingFullError:
@@ -345,6 +469,7 @@ class IPipeRuntime:
         """Actor→actor message within this server."""
         actor = self.actors.lookup(msg.target)
         if actor is None:
+            self._buffer_for_restart(msg)
             return
         msg.meta["nic_arrival"] = self.sim.now
         if actor.location is Location.HOST and origin is Location.HOST:
@@ -354,20 +479,49 @@ class IPipeRuntime:
         elif origin is Location.HOST:
             # host → NIC actor: cross the channel, then schedule on the NIC
             self._host_ring_writes += 1
-            self.channel.host_send(msg)
+            if self.rchannel is not None:
+                self.rchannel.host_send(msg)
+            else:
+                self._host_send_backoff(msg, 1.0)
+                return
             delay = self.channel.to_nic.transfer_delay_us(msg)
-            self.sim.call_in(delay, self._nic_channel_arrival, msg)
+            self.sim.call_in(delay, self._nic_channel_arrival)
         else:
             self.enqueue_nic_message(msg)
 
-    def _nic_channel_arrival(self, msg: Message) -> None:
-        polled = self.channel.nic_poll()
-        if polled is not None:
+    def _host_send_backoff(self, msg: Message, backoff_us: float) -> None:
+        """Event-level ``wait_not_full``: host→NIC sends run inside actor
+        handlers (plain callables, not sim processes), so a full ring must
+        back off via rescheduled events rather than raising RingFullError
+        through the handler."""
+        try:
+            self.channel.host_send(msg)
+        except RingFullError:
+            self.sim.call_in(backoff_us, self._host_send_backoff, msg,
+                             min(backoff_us * 2, 64.0))
+            return
+        delay = self.channel.to_nic.transfer_delay_us(msg)
+        self.sim.call_in(delay, self._nic_channel_arrival)
+
+    def _nic_channel_arrival(self, msg: Message = None) -> None:
+        """Drain the host→NIC ring into the scheduler's shared queue."""
+        while True:
+            polled = (self.rchannel.nic_poll() if self.rchannel is not None
+                      else self.channel.nic_poll())
+            if polled is None:
+                break
             self.enqueue_nic_message(polled)
-        elif len(self.channel.to_nic):
+        backlog = len(self.channel.to_nic) or (
+            self.rchannel is not None and self.rchannel.pending("to_nic"))
+        if backlog and not self._nic_poll_pending:
             # head slot's DMA still in flight (slots are visible strictly
-            # in ring order): retry shortly
-            self.sim.call_in(1.0, self._nic_channel_arrival, msg)
+            # in ring order), or a retransmit is pending: retry shortly
+            self._nic_poll_pending = True
+            self.sim.call_in(1.0, self._nic_poll_retry)
+
+    def _nic_poll_retry(self) -> None:
+        self._nic_poll_pending = False
+        self._nic_channel_arrival()
 
     # -- egress ---------------------------------------------------------------------
     def transmit_from(self, side: Location, packet: Packet) -> None:
@@ -447,7 +601,8 @@ class IPipeRuntime:
             busy_start = self.sim.now
             msg = self.host_queue.try_get_nowait()
             if msg is None:
-                polled = self.channel.host_poll()
+                polled = (self.rchannel.host_poll() if self.rchannel is not None
+                          else self.channel.host_poll())
                 if polled is not None:
                     rx = self.host_stack.rx_cost(polled.size)
                     yield Timeout(rx)
@@ -457,7 +612,10 @@ class IPipeRuntime:
                 yield Timeout(0.5)
                 continue
             actor = self.actors.lookup(msg.target)
-            if actor is None or not actor.schedulable:
+            if actor is None:
+                self._buffer_for_restart(msg)
+                continue
+            if not actor.schedulable:
                 continue
             if actor.migration_state in (MigrationState.PREPARE,
                                          MigrationState.READY):

@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Deque, Dict, List, Optional
 from collections import deque
 
+from ..nic.cores import CoreHealth
 from ..sim import LatencyTracker, Simulator, Timeout, spawn
 from .actor import Actor, ActorTable, Location, Message
 from .isolation import IsolationPolicy, Watchdog
@@ -104,7 +105,8 @@ class NicScheduler:
                  on_push_migration: Optional[Callable[[Actor], object]] = None,
                  on_pull_migration: Optional[Callable[[], Optional[object]]] = None,
                  redeliver: Optional[Callable[[Message], None]] = None,
-                 core_util=None):
+                 core_util=None,
+                 on_actor_killed: Optional[Callable[[Actor], None]] = None):
         self.sim = sim
         self.num_cores = num_cores
         self.queue = work_queue
@@ -117,9 +119,16 @@ class NicScheduler:
         self.on_pull_migration = on_pull_migration
         self.redeliver = redeliver
         self.core_util = core_util or [None] * num_cores
+        #: notified after the watchdog kills an actor (recovery hook)
+        self.on_actor_killed = on_actor_killed
 
-        #: "fcfs" / "drr" mode per core.
+        #: "fcfs" / "drr" / "failed" mode per core.
         self.core_mode: List[str] = ["fcfs"] * num_cores
+        #: the dedicated management core (§3.2.2); promoted on core failure
+        self.mgmt_core = 0
+        self.core_health = CoreHealth(num_cores)
+        self.core_failures = 0
+        self.core_stalls = 0
         self.drr_runnable: Deque[Actor] = deque()
         #: Queueing-delay tracker of operations handled by the FCFS group.
         #: The thresholds are forwarding-latency budgets (§3.2.3 derives
@@ -157,9 +166,67 @@ class NicScheduler:
     def drr_cores(self) -> int:
         return sum(1 for m in self.core_mode if m == "drr")
 
+    # -- core faults (FaultPlane hooks) --------------------------------------
+    def stall_core(self, core_id: int, duration_us: float) -> bool:
+        """Freeze one core for ``duration_us``; survivors keep scheduling."""
+        if not 0 <= core_id < self.num_cores:
+            return False
+        if not self.core_health.alive(core_id):
+            return False
+        self.core_health.stall(core_id, self.sim.now, duration_us)
+        self.core_stalls += 1
+        return True
+
+    def fail_core(self, core_id: int) -> bool:
+        """Permanently fail one core and rebalance the survivors.
+
+        Takes effect at the core's next scheduling boundary (cooperative,
+        the same granularity as the DoS watchdog).  If the management
+        core dies, management duty is promoted to the next live FCFS
+        core; the FCFS floor and a live DRR core (when DRR work exists)
+        are then restored by converting survivors.
+        """
+        if not 0 <= core_id < self.num_cores:
+            return False
+        if not self.core_health.alive(core_id):
+            return False
+        self.core_health.fail(core_id)
+        prev_mode = self.core_mode[core_id]
+        self.core_mode[core_id] = "failed"
+        self.core_failures += 1
+        alive = [c for c in range(self.num_cores)
+                 if self.core_health.alive(c)]
+        if not alive:
+            return True            # whole NIC down: nothing to rebalance
+        if core_id == self.mgmt_core:
+            fcfs_alive = [c for c in alive if self.core_mode[c] == "fcfs"]
+            self.mgmt_core = fcfs_alive[0] if fcfs_alive else alive[0]
+            self.core_mode[self.mgmt_core] = "fcfs"  # mgmt is always FCFS
+        if self.fcfs_cores() < self.config.min_fcfs_cores:
+            for core in alive:
+                if self.core_mode[core] == "drr":
+                    self.core_mode[core] = "fcfs"
+                    self.core_moves += 1
+                    break
+        if prev_mode == "drr" and self.drr_cores() == 0 and self.drr_runnable:
+            for core in alive:
+                if (self.core_mode[core] == "fcfs"
+                        and core != self.mgmt_core
+                        and self.fcfs_cores() > self.config.min_fcfs_cores):
+                    self.core_mode[core] = "drr"
+                    self.core_moves += 1
+                    break
+        return True
+
     # -- core main loops ----------------------------------------------------------
     def _core_loop(self, core_id: int):
         while self._running:
+            if not self.core_health.alive(core_id):
+                return             # failed core: its loop ends for good
+            stall = self.core_health.stall_remaining(core_id, self.sim.now)
+            if stall > 0.0:
+                yield Timeout(stall)
+                continue
             mode = self.core_mode[core_id]
             if mode == "fcfs":
                 yield from self._fcfs_iteration(core_id)
@@ -194,7 +261,7 @@ class NicScheduler:
                 and now - self._last_downgrade >= self.config.adapt_cooldown_us):
             if self._downgrade_highest_dispersion():
                 self._last_downgrade = now
-        if core_id == 0:
+        if core_id == self.mgmt_core:
             yield from self._management_checks()
         if self.config.autoscale:
             self._autoscale(core_id)
@@ -219,6 +286,10 @@ class NicScheduler:
 
         actor = self.actors.lookup(item.message.target)
         if actor is None:
+            # hand it back to the router: a crashed-but-restartable actor
+            # buffers the message; anything else stays a drop
+            if self.redeliver is not None:
+                self.redeliver(item.message)
             self._account(core_id, "fcfs", self.sim.now - start)
             return
         if not actor.schedulable or actor.location is not Location.NIC:
@@ -359,8 +430,11 @@ class NicScheduler:
         while True:
             if watchdog.expired(self.sim.now):
                 victim = watchdog.kill(self.actors)
-                if victim is not None and victim in self.drr_runnable:
-                    self.drr_runnable.remove(victim)
+                if victim is not None:
+                    if victim in self.drr_runnable:
+                        self.drr_runnable.remove(victim)
+                    if self.on_actor_killed is not None:
+                        self.on_actor_killed(victim)
                 gen.close()
                 return
             result = yield command
@@ -492,7 +566,7 @@ class NicScheduler:
         if elapsed < self.config.util_window_us:
             return
         fcfs_n = self.fcfs_cores()
-        drr_n = self.num_cores - fcfs_n
+        drr_n = self.drr_cores()
         fcfs_util = self._group_utilization("fcfs")
         drr_util = self._group_utilization("drr")
         if (drr_n > 0 and drr_util >= 0.95 and fcfs_n > self.config.min_fcfs_cores
@@ -510,10 +584,10 @@ class NicScheduler:
                 if src == "fcfs":
                     if self.fcfs_cores() <= self.config.min_fcfs_cores:
                         return
-                    if core == 0:
-                        # Core 0 is the dedicated management core (§3.2.2:
-                        # migration runs on a dedicated FCFS core) — never
-                        # hand it to the DRR group.
+                    if core == self.mgmt_core:
+                        # The dedicated management core (§3.2.2: migration
+                        # runs on a dedicated FCFS core) — never hand it
+                        # to the DRR group.
                         continue
                 self.core_mode[core] = dst
                 self.core_moves += 1

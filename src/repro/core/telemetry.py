@@ -40,6 +40,8 @@ class SchedulerSnapshot:
     pushes: int
     pulls: int
     core_moves: int
+    core_failures: int = 0
+    core_stalls: int = 0
 
 
 @dataclass
@@ -51,6 +53,32 @@ class ChannelSnapshot:
     checksum_failures: int
     sync_messages: int
     drops: int
+    nacks: int = 0
+    retransmits: int = 0
+    ring_full_backoffs: int = 0
+
+
+@dataclass
+class RecoverySnapshot:
+    """Fault-injection and recovery roll-up for one server."""
+
+    faults_injected: Dict[str, int] = field(default_factory=dict)
+    fault_schedule_len: int = 0
+    retransmits: int = 0
+    ring_full_backoffs: int = 0
+    nacks: int = 0
+    messages_recovered: int = 0
+    duplicates_dropped: int = 0
+    crashes: int = 0
+    restarts: int = 0
+    core_failures: int = 0
+    core_stalls: int = 0
+    #: mean/max time-to-recovery across channel retransmits and actor
+    #: restarts (first failure → back in service), microseconds
+    mttr_mean_us: float = 0.0
+    mttr_max_us: float = 0.0
+    restart_mttr_mean_us: float = 0.0
+    channel_mttr_mean_us: float = 0.0
 
 
 @dataclass
@@ -67,6 +95,7 @@ class RuntimeSnapshot:
     channel: ChannelSnapshot = None
     migrations: int = 0
     dos_kills: List[str] = field(default_factory=list)
+    recovery: RecoverySnapshot = None
 
     def actor(self, name: str) -> ActorSnapshot:
         for snap in self.actors:
@@ -140,6 +169,8 @@ def snapshot(runtime, window_us: float = None) -> RuntimeSnapshot:
             pushes=sched.pushes,
             pulls=sched.pulls,
             core_moves=sched.core_moves,
+            core_failures=getattr(sched, "core_failures", 0),
+            core_stalls=getattr(sched, "core_stalls", 0),
         ),
         channel=ChannelSnapshot(
             to_host_produced=chan.to_host.produced,
@@ -151,7 +182,49 @@ def snapshot(runtime, window_us: float = None) -> RuntimeSnapshot:
             sync_messages=(chan.to_host.sync_messages
                            + chan.to_nic.sync_messages),
             drops=getattr(runtime, "channel_drops", 0),
+            nacks=(getattr(chan.to_host, "nacks", 0)
+                   + getattr(chan.to_nic, "nacks", 0)),
+            retransmits=(runtime.rchannel.retransmits
+                         if getattr(runtime, "rchannel", None) else 0),
+            ring_full_backoffs=(runtime.rchannel.ring_full_backoffs
+                                if getattr(runtime, "rchannel", None) else 0),
         ),
         migrations=len(runtime.migrator.reports),
         dos_kills=list(runtime.config.isolation.kills),
+        recovery=recovery_snapshot(runtime),
+    )
+
+
+def recovery_snapshot(runtime) -> RecoverySnapshot:
+    """Roll up FaultPlane + recovery telemetry for one server."""
+    sched = runtime.nic_scheduler
+    chan = runtime.channel
+    rchannel = getattr(runtime, "rchannel", None)
+    plane = getattr(runtime, "fault_plane", None)
+
+    channel_samples = list(rchannel.mttr_samples) if rchannel else []
+    restart_samples = list(getattr(runtime, "recovery_mttr", []))
+    all_samples = channel_samples + restart_samples
+
+    def _mean(samples):
+        return sum(samples) / len(samples) if samples else 0.0
+
+    return RecoverySnapshot(
+        faults_injected=dict(plane.counts) if plane is not None else {},
+        fault_schedule_len=(len(plane.schedule_log)
+                            if plane is not None else 0),
+        retransmits=rchannel.retransmits if rchannel else 0,
+        ring_full_backoffs=rchannel.ring_full_backoffs if rchannel else 0,
+        nacks=(getattr(chan.to_host, "nacks", 0)
+               + getattr(chan.to_nic, "nacks", 0)),
+        messages_recovered=rchannel.recovered if rchannel else 0,
+        duplicates_dropped=rchannel.duplicates_dropped if rchannel else 0,
+        crashes=getattr(runtime, "crashes", 0),
+        restarts=getattr(runtime, "restarts", 0),
+        core_failures=getattr(sched, "core_failures", 0),
+        core_stalls=getattr(sched, "core_stalls", 0),
+        mttr_mean_us=_mean(all_samples),
+        mttr_max_us=max(all_samples) if all_samples else 0.0,
+        restart_mttr_mean_us=_mean(restart_samples),
+        channel_mttr_mean_us=_mean(channel_samples),
     )

@@ -1,0 +1,479 @@
+"""Chaos study: the paper's workloads under a deterministic FaultPlane.
+
+Runs the three distributed applications (§4) on the simulated testbed
+while the FaultPlane injects link loss, torn DMA writes, core failures
+and actor crashes — then asserts the invariants that separate a demo
+dataplane from a deployable one:
+
+* **zero client-visible request loss** — every request is eventually
+  answered, via channel retransmission, actor restart, or client-level
+  retry (the recovery stack working end to end);
+* **Paxos safety** — no two RKV replicas commit different values for the
+  same log instance, no matter what the fabric dropped;
+* **OCC write provenance** — no DT participant exposes a value that was
+  never committed (aborted writes leave no trace);
+* **deterministic replay** — the same fault seed reproduces the same
+  fault schedule and the same recovery telemetry, byte for byte.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.experiments.chaos_study \
+        --workload rkv --seed 42 --loss 0.02
+
+Each ``run_*_chaos`` function returns a :class:`ChaosReport`; see
+``docs/FAULTS.md`` for the fault model.
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..apps.dt import DtCoordinatorNode, DtParticipantNode
+from ..apps.rkv import RkvNode
+from ..apps.rta import RtaWorkerNode
+from ..core import Message, SchedulerConfig, recovery_snapshot
+from ..net import Packet
+from ..nic import LIQUIDIO_CN2350
+from ..sim import (
+    FaultKind,
+    FaultPlane,
+    FaultSpec,
+    RecoveryPolicy,
+    Timeout,
+    spawn,
+)
+from .testbed import Testbed, make_testbed
+
+#: extra drain time granted after the nominal run when requests are
+#: still outstanding (recovery in progress)
+DRAIN_CHUNK_US = 20_000.0
+MAX_DRAIN_CHUNKS = 6
+
+
+class ChaosClient:
+    """Request generator with timeout-based retry and loss accounting.
+
+    Every request carries a ``chaos_id`` in the packet metadata; replies
+    (which copy request metadata) are matched on it, so retransmitted
+    requests and duplicate replies are tracked exactly.  A request is
+    *lost* only if it stays unanswered through every retry — the metric
+    the zero-loss acceptance criterion is defined over.
+    """
+
+    def __init__(self, sim, network, name: str = "client",
+                 timeout_us: float = 2_000.0, max_attempts: int = 20):
+        self.sim = sim
+        self.network = network
+        self.name = name
+        self.timeout_us = timeout_us
+        self.max_attempts = max_attempts
+        network.attach(name, self._receive)
+        self.outstanding: Dict[int, Dict] = {}
+        self.replies: Dict[int, Packet] = {}
+        self.latencies: List[float] = []
+        self.retransmits = 0
+        self.duplicate_replies = 0
+        self._next_rid = 0
+
+    def request(self, dst: str, kind: str, payload, size: int = 128) -> int:
+        rid = self._next_rid
+        self._next_rid += 1
+        self.outstanding[rid] = {
+            "dst": dst, "kind": kind, "payload": payload, "size": size,
+            "attempts": 0, "first_sent": self.sim.now,
+        }
+        self._transmit(rid)
+        return rid
+
+    def _transmit(self, rid: int) -> None:
+        state = self.outstanding.get(rid)
+        if state is None:
+            return
+        state["attempts"] += 1
+        if state["attempts"] > 1:
+            self.retransmits += 1
+        pkt = Packet(self.name, state["dst"], state["size"],
+                     kind=state["kind"], payload=state["payload"],
+                     created_at=self.sim.now)
+        pkt.meta["chaos_id"] = rid
+        self.network.send(pkt)
+        if state["attempts"] < self.max_attempts:
+            # exponential timeout scaling, capped: late recoveries (actor
+            # restarts) take longer than a lost frame
+            backoff = self.timeout_us * min(2 ** (state["attempts"] - 1), 8)
+            self.sim.call_in(backoff, self._check, rid, state["attempts"])
+
+    def _check(self, rid: int, attempt: int) -> None:
+        state = self.outstanding.get(rid)
+        if state is None or state["attempts"] != attempt:
+            return
+        self._transmit(rid)
+
+    def _receive(self, pkt: Packet) -> None:
+        rid = pkt.meta.get("chaos_id")
+        if rid is None:
+            return
+        state = self.outstanding.pop(rid, None)
+        if state is None:
+            self.duplicate_replies += 1
+            return
+        self.replies[rid] = pkt
+        self.latencies.append(self.sim.now - state["first_sent"])
+
+    @property
+    def answered(self) -> int:
+        return len(self.replies)
+
+    @property
+    def lost(self) -> int:
+        return len(self.outstanding)
+
+
+@dataclass
+class ChaosReport:
+    """Outcome of one chaos scenario."""
+
+    workload: str
+    seed: int
+    requests: int
+    answered: int
+    lost: int
+    client_retransmits: int
+    duplicate_replies: int
+    duration_us: float
+    faults_injected: Dict[str, int] = field(default_factory=dict)
+    fault_schedule: List[Tuple[float, str, str]] = field(default_factory=list)
+    recovery: Dict[str, object] = field(default_factory=dict)  # per node
+    invariants: Dict[str, bool] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.lost == 0 and all(self.invariants.values())
+
+    def telemetry_fingerprint(self) -> Tuple:
+        """Deterministic-replay digest: fault schedule + recovery
+        telemetry.  Two runs with the same seed must produce equal
+        fingerprints."""
+        per_node = []
+        for node in sorted(self.recovery):
+            snap = self.recovery[node]
+            per_node.append((
+                node, snap.retransmits, snap.ring_full_backoffs, snap.nacks,
+                snap.messages_recovered, snap.crashes, snap.restarts,
+                snap.core_failures, snap.core_stalls,
+                round(snap.mttr_mean_us, 6), round(snap.mttr_max_us, 6),
+            ))
+        return (tuple(self.fault_schedule), tuple(per_node),
+                self.answered, self.client_retransmits)
+
+    def summary(self) -> str:
+        mttrs = [s.mttr_mean_us for s in self.recovery.values()
+                 if s.mttr_mean_us > 0]
+        retrans = sum(s.retransmits for s in self.recovery.values())
+        restarts = sum(s.restarts for s in self.recovery.values())
+        lines = [
+            f"[chaos:{self.workload}] seed={self.seed} "
+            f"{self.answered}/{self.requests} answered, lost={self.lost}, "
+            f"client retries={self.client_retransmits}, "
+            f"dup replies={self.duplicate_replies}",
+            f"  faults injected: {self.faults_injected or 'none'} "
+            f"({len(self.fault_schedule)} scheduled events)",
+            f"  recovery: {retrans} channel retransmits, "
+            f"{restarts} actor restarts, "
+            f"MTTR mean={sum(mttrs) / len(mttrs):.1f}us" if mttrs else
+            f"  recovery: {retrans} channel retransmits, "
+            f"{restarts} actor restarts",
+            f"  invariants: " + ", ".join(
+                f"{name}={'ok' if good else 'VIOLATED'}"
+                for name, good in self.invariants.items()),
+        ]
+        return "\n".join(lines)
+
+
+def _run_until_answered(bed: Testbed, client: ChaosClient,
+                        duration_us: float) -> None:
+    bed.sim.run(until=duration_us)
+    chunks = 0
+    while client.lost and chunks < MAX_DRAIN_CHUNKS:
+        bed.sim.run(until=bed.sim.now + DRAIN_CHUNK_US)
+        chunks += 1
+
+
+def _collect(bed: Testbed, plane: FaultPlane) -> Tuple[Dict, List, Dict]:
+    recovery = {name: recovery_snapshot(server.runtime)
+                for name, server in sorted(bed.servers.items())}
+    return dict(plane.counts), list(plane.schedule_log), recovery
+
+
+# -- RKV ----------------------------------------------------------------------
+def paxos_safety_ok(rkv_nodes: Dict[str, RkvNode]) -> bool:
+    """No two replicas may commit different values for one instance."""
+    committed: Dict[int, object] = {}
+    for node in rkv_nodes.values():
+        for instance, entry in node.paxos.log.items():
+            if not entry.committed:
+                continue
+            if instance in committed and committed[instance] != entry.value:
+                return False
+            committed.setdefault(instance, entry.value)
+    return True
+
+
+def run_rkv_chaos(seed: int = 42, loss: float = 0.02,
+                  torn_every_nth: int = 3, n_requests: int = 45,
+                  crash_memtable: bool = True,
+                  duration_us: float = 60_000.0,
+                  value_bytes: int = 64,
+                  send_gap_us: float = 200.0) -> ChaosReport:
+    """Replicated KV store under link loss + torn DMA + an actor crash.
+
+    The acceptance scenario: ≥1% link loss and periodic torn writes on
+    the leader's NIC→host ring, with reliable channels and actor restart
+    enabled — and still zero client-visible request loss.
+    """
+    bed = make_testbed(seed=seed)
+    plane = FaultPlane(bed.sim, seed=seed)
+    plane.add(FaultSpec(FaultKind.LINK_LOSS, target="*", probability=loss))
+    plane.add(FaultSpec(FaultKind.DMA_TORN, target="s0.chan.*",
+                        every_nth=torn_every_nth))
+    if crash_memtable:
+        plane.add(FaultSpec(FaultKind.ACTOR_CRASH, target="memtable",
+                            node="s0", at_us=(duration_us * 0.25,)))
+
+    nodes = ("s0", "s1", "s2")
+    policy = RecoveryPolicy(restart_delay_us=100.0)
+    rkv: Dict[str, RkvNode] = {}
+    for name in nodes:
+        server = bed.add_server(
+            name, LIQUIDIO_CN2350,
+            config=SchedulerConfig(migration_enabled=False),
+            host_workers=2, reliable=True, fault_plane=plane,
+            recovery=policy)
+        peers = [n for n in nodes if n != name]
+        rkv[name] = RkvNode(server.runtime, peers, initial_leader=nodes[0],
+                            memtable_limit=256 * 1024)
+    # the client attaches after the servers so its links exist for loss too
+    client = ChaosClient(bed.sim, bed.network)
+    plane.wire_network(bed.network)
+
+    value = bytes(value_bytes)
+
+    def driver():
+        for i in range(n_requests):
+            if i % 6 == 5:
+                # memtable miss: crosses the host↔NIC rings (sst_read),
+                # so torn DMA writes actually hit the request path
+                client.request("s0", "rkv-get",
+                               {"key": f"cold{i}"}, size=96)
+            elif i % 3 == 2:
+                client.request("s0", "rkv-get",
+                               {"key": f"k{(i - 1) % 17}"}, size=96)
+            else:
+                client.request("s0", "rkv-put",
+                               {"key": f"k{i % 17}", "value": value},
+                               size=128 + value_bytes)
+            yield Timeout(send_gap_us)
+
+    def paxos_repair():
+        # periodic liveness tick: lost ACCEPTs would otherwise strand an
+        # instance below quorum and stall the apply loop forever
+        while True:
+            yield Timeout(1_000.0)
+            for name in nodes:
+                runtime = bed.server(name).runtime
+                runtime.deliver(Message(
+                    target="consensus", kind="paxos-tick", payload=None,
+                    size=32, created_at=bed.sim.now))
+
+    spawn(bed.sim, driver(), name="chaos-driver")
+    spawn(bed.sim, paxos_repair(), name="paxos-repair")
+    _run_until_answered(bed, client, duration_us)
+
+    injected, schedule, recovery = _collect(bed, plane)
+    return ChaosReport(
+        workload="rkv", seed=seed, requests=n_requests,
+        answered=client.answered, lost=client.lost,
+        client_retransmits=client.retransmits,
+        duplicate_replies=client.duplicate_replies,
+        duration_us=bed.sim.now,
+        faults_injected=injected, fault_schedule=schedule,
+        recovery=recovery,
+        invariants={
+            "zero_loss": client.lost == 0,
+            "paxos_safety": paxos_safety_ok(rkv),
+        },
+    )
+
+
+# -- DT -----------------------------------------------------------------------
+def occ_provenance_ok(coordinator: DtCoordinatorNode,
+                      participants: List[DtParticipantNode]) -> bool:
+    """No participant may expose a value outside the committed history."""
+    committed_values: Dict[str, set] = {}
+    for record in coordinator.log.active.records:
+        for key, val in record.writes.items():
+            committed_values.setdefault(key, set()).add(val)
+    for part in participants:
+        # phantom check: any value a participant exposes must come from a
+        # committed record.  version == 0 entries are lock placeholders
+        # (try_lock on an absent key) — never-written, i.e. "absent", the
+        # same as a commit message lost on the wire (stale-by-absence).
+        for bucket in part.participant.store._buckets:
+            for entry in bucket:
+                if entry.value is None or entry.version == 0:
+                    continue
+                if entry.value not in committed_values.get(entry.key, set()):
+                    return False
+    return True
+
+
+def run_dt_chaos(seed: int = 42, loss: float = 0.005,
+                 torn_every_nth: int = 9, n_txns: int = 30,
+                 duration_us: float = 60_000.0,
+                 send_gap_us: float = 300.0) -> ChaosReport:
+    """Distributed transactions under loss: every txn must be answered
+    (committed or aborted) and no aborted write may leak into a store."""
+    bed = make_testbed(seed=seed)
+    plane = FaultPlane(bed.sim, seed=seed)
+    plane.add(FaultSpec(FaultKind.LINK_LOSS, target="*", probability=loss))
+    plane.add(FaultSpec(FaultKind.DMA_TORN, target="s0.chan.*",
+                        every_nth=torn_every_nth))
+
+    policy = RecoveryPolicy(restart_delay_us=100.0)
+    servers = {}
+    for name in ("s0", "s1", "s2"):
+        servers[name] = bed.add_server(
+            name, LIQUIDIO_CN2350,
+            config=SchedulerConfig(migration_enabled=False),
+            host_workers=2, reliable=True, fault_plane=plane,
+            recovery=policy)
+    coordinator = DtCoordinatorNode(servers["s0"].runtime,
+                                    participant_nodes=["s1", "s2"],
+                                    log_segment_bytes=1 << 20)
+    participants = [DtParticipantNode(servers["s1"].runtime),
+                    DtParticipantNode(servers["s2"].runtime)]
+    client = ChaosClient(bed.sim, bed.network, timeout_us=3_000.0)
+    plane.wire_network(bed.network)
+
+    def driver():
+        for i in range(n_txns):
+            key_a, key_b = f"x{i % 8}", f"y{i % 8}"
+            client.request("s0", "dt-txn", {
+                "reads": [key_a],
+                "writes": {key_b: f"v{i}".encode()},
+            }, size=160)
+            yield Timeout(send_gap_us)
+
+    spawn(bed.sim, driver(), name="chaos-driver")
+    _run_until_answered(bed, client, duration_us)
+
+    injected, schedule, recovery = _collect(bed, plane)
+    return ChaosReport(
+        workload="dt", seed=seed, requests=n_txns,
+        answered=client.answered, lost=client.lost,
+        client_retransmits=client.retransmits,
+        duplicate_replies=client.duplicate_replies,
+        duration_us=bed.sim.now,
+        faults_injected=injected, fault_schedule=schedule,
+        recovery=recovery,
+        invariants={
+            "zero_loss": client.lost == 0,
+            "occ_provenance": occ_provenance_ok(coordinator, participants),
+        },
+    )
+
+
+# -- RTA ----------------------------------------------------------------------
+def run_rta_chaos(seed: int = 42, loss: float = 0.01,
+                  n_requests: int = 40, duration_us: float = 60_000.0,
+                  send_gap_us: float = 250.0) -> ChaosReport:
+    """Analytics pipeline surviving a NIC core failure, a core stall and
+    a crash of the stateful counter actor."""
+    bed = make_testbed(seed=seed)
+    plane = FaultPlane(bed.sim, seed=seed)
+    plane.add(FaultSpec(FaultKind.LINK_LOSS, target="*", probability=loss))
+    plane.add(FaultSpec(FaultKind.CORE_FAIL, target="3", node="s0",
+                        at_us=(duration_us * 0.2,)))
+    plane.add(FaultSpec(FaultKind.CORE_STALL, target="1", node="s0",
+                        at_us=(duration_us * 0.3,), duration_us=2_000.0))
+    plane.add(FaultSpec(FaultKind.ACTOR_CRASH, target="counter", node="s0",
+                        at_us=(duration_us * 0.4,)))
+    plane.add(FaultSpec(FaultKind.RING_STALL, target="s0.chan.to_host",
+                        at_us=(duration_us * 0.5,), duration_us=1_000.0))
+
+    server = bed.add_server(
+        "s0", LIQUIDIO_CN2350,
+        config=SchedulerConfig(migration_enabled=False),
+        host_workers=2, reliable=True, fault_plane=plane,
+        recovery=RecoveryPolicy(restart_delay_us=100.0))
+    worker = RtaWorkerNode(server.runtime)
+    client = ChaosClient(bed.sim, bed.network)
+    plane.wire_network(bed.network)
+
+    def driver():
+        for i in range(n_requests):
+            tuples = ([f"#tag{i} trending now"] if i % 2 == 0
+                      else [f"plain tuple {i}"])
+            client.request("s0", "rta-tuple", {"tuples": tuples}, size=128)
+            yield Timeout(send_gap_us)
+
+    spawn(bed.sim, driver(), name="chaos-driver")
+    _run_until_answered(bed, client, duration_us)
+
+    injected, schedule, recovery = _collect(bed, plane)
+    sched = server.runtime.nic_scheduler
+    return ChaosReport(
+        workload="rta", seed=seed, requests=n_requests,
+        answered=client.answered, lost=client.lost,
+        client_retransmits=client.retransmits,
+        duplicate_replies=client.duplicate_replies,
+        duration_us=bed.sim.now,
+        faults_injected=injected, fault_schedule=schedule,
+        recovery=recovery,
+        invariants={
+            "zero_loss": client.lost == 0,
+            "core_rebalanced": (sched.core_health.alive_count()
+                                == sched.num_cores - 1
+                                and sched.fcfs_cores() >= 1),
+            "tuples_processed": worker.tuples_in > 0,
+        },
+    )
+
+
+RUNNERS = {
+    "rkv": run_rkv_chaos,
+    "dt": run_dt_chaos,
+    "rta": run_rta_chaos,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workload", choices=[*RUNNERS, "all"],
+                        default="all")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--loss", type=float, default=None,
+                        help="link loss probability override")
+    parser.add_argument("--duration-ms", type=float, default=None,
+                        help="nominal run length override (milliseconds)")
+    args = parser.parse_args(argv)
+
+    names = list(RUNNERS) if args.workload == "all" else [args.workload]
+    failed = 0
+    for name in names:
+        kwargs = {"seed": args.seed}
+        if args.loss is not None:
+            kwargs["loss"] = args.loss
+        if args.duration_ms is not None:
+            kwargs["duration_us"] = args.duration_ms * 1_000.0
+        report = RUNNERS[name](**kwargs)
+        print(report.summary())
+        if not report.ok:
+            failed += 1
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -42,12 +42,17 @@ class Testbed:
     def add_server(self, name: str, nic_spec: NicSpec = LIQUIDIO_CN2350,
                    config: Optional[SchedulerConfig] = None,
                    host_workers: int = 4,
-                   host_cores: Optional[int] = None) -> Server:
+                   host_cores: Optional[int] = None,
+                   reliable: bool = False,
+                   fault_plane=None,
+                   recovery=None) -> Server:
         nic = SmartNic(self.sim, nic_spec, name=f"{name}.nic")
         machine = HostMachine(self.sim, host_for(nic_spec), name=name,
                               cores=host_cores or host_for(nic_spec).cores)
         runtime = IPipeRuntime(self.sim, nic, machine, self.network, name,
-                               config=config, host_workers=host_workers)
+                               config=config, host_workers=host_workers,
+                               reliable=reliable, fault_plane=fault_plane,
+                               recovery=recovery)
         server = Server(name=name, nic=nic, machine=machine, runtime=runtime)
         self.servers[name] = server
         return server

@@ -41,6 +41,10 @@ class Link:
         self._next_free = 0.0
         self.frames_sent = 0
         self.bytes_sent = 0
+        #: optional FaultPlane consulted per frame (see repro.sim.faults)
+        self.fault_plane = None
+        self.frames_dropped = 0
+        self.frames_corrupted = 0
 
     def connect(self, receiver: Receiver) -> None:
         self.receiver = receiver
@@ -56,6 +60,17 @@ class Link:
         deliver_at = done + self.propagation_us
         self.frames_sent += 1
         self.bytes_sent += packet.size
+        if self.fault_plane is not None:
+            fate = self.fault_plane.frame_fate(self.name, packet)
+            if fate is not None:
+                # the frame still occupies the wire; it is just never
+                # handed up (lost, or discarded by the receiving MAC on
+                # an FCS mismatch)
+                if fate == "drop":
+                    self.frames_dropped += 1
+                else:
+                    self.frames_corrupted += 1
+                return deliver_at
         self.sim.call_at(deliver_at, self.receiver, packet)
         return deliver_at
 

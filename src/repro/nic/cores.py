@@ -110,3 +110,39 @@ def table3_workload_rows():
         rows.append((prof.name, f"{prof.exec_us:.2f}", f"{prof.ipc:.1f}",
                      f"{prof.mpki:.1f}"))
     return tuple(rows)
+
+
+class CoreHealth:
+    """Liveness / stall bookkeeping for a NIC's scheduling cores.
+
+    The FaultPlane sets these flags; the scheduler consults them at every
+    scheduling-loop boundary, so fault detection granularity is one
+    cooperative scheduling iteration — the same granularity the DoS
+    watchdog already has.  Failures are permanent (a wedged core never
+    comes back without a device reset); stalls expire on their own.
+    """
+
+    def __init__(self, cores: int):
+        self.cores = cores
+        self._failed: set = set()
+        self._stalled_until = [0.0] * cores
+
+    def alive(self, core: int) -> bool:
+        return core not in self._failed
+
+    def fail(self, core: int) -> None:
+        self._failed.add(core)
+
+    def stall(self, core: int, now: float, duration_us: float) -> None:
+        self._stalled_until[core] = max(self._stalled_until[core],
+                                        now + duration_us)
+
+    def stall_remaining(self, core: int, now: float) -> float:
+        return max(self._stalled_until[core] - now, 0.0)
+
+    @property
+    def failed(self) -> frozenset:
+        return frozenset(self._failed)
+
+    def alive_count(self) -> int:
+        return self.cores - len(self._failed)

@@ -58,6 +58,14 @@ class DmaEngine:
         self.channels = Resource(sim, channels)
         self.bytes_moved = 0
         self.ops = 0
+        #: optional FaultPlane consulted by rings built on this engine
+        self.fault_plane = None
+        #: torn writes injected against this engine's rings
+        self.torn_writes = 0
+
+    def note_torn_write(self) -> None:
+        """Ring-side callback: a DMA write landed torn (checksum bad)."""
+        self.torn_writes += 1
 
     # -- analytic model (Figures 7 & 8) ----------------------------------
     def read_latency_us(self, nbytes: int, blocking: bool = True) -> float:

@@ -4,6 +4,7 @@ from .engine import MICROSECOND, MILLISECOND, SECOND, EventHandle, SimulationErr
 from .process import Process, Signal, Timeout, all_of, spawn
 from .resources import Resource, Store
 from .distributions import Rng, ZipfGenerator, percentile
+from .faults import FaultKind, FaultPlane, FaultSnapshot, FaultSpec, RecoveryPolicy
 from .stats import Counter, Ewma, LatencyRecorder, LatencyTracker, UtilizationTracker
 
 __all__ = [
@@ -21,6 +22,11 @@ __all__ = [
     "Resource",
     "Store",
     "Rng",
+    "FaultKind",
+    "FaultPlane",
+    "FaultSnapshot",
+    "FaultSpec",
+    "RecoveryPolicy",
     "ZipfGenerator",
     "percentile",
     "Counter",

@@ -1,4 +1,9 @@
-"""Failure injection: torn DMA writes, hostile actors, overload drops."""
+"""Failure injection: torn DMA writes, hostile actors, overload drops.
+
+Fault injection goes through the FaultPlane (declarative, seeded specs
+wired into the dataplane) rather than monkeypatched send paths — the same
+mechanism the chaos experiments use.
+"""
 
 import pytest
 
@@ -7,7 +12,7 @@ from repro.core.actor import Location
 from repro.experiments.testbed import make_testbed
 from repro.net import Packet
 from repro.nic import LIQUIDIO_CN2350, WorkloadProfile
-from repro.sim import Rng, Timeout
+from repro.sim import FaultKind, FaultPlane, FaultSpec, Rng, Timeout
 
 
 def _echo(actor, msg, ctx):
@@ -20,24 +25,18 @@ def test_corrupted_ring_messages_dropped_but_service_survives():
     """Torn DMA writes (bad checksum) lose individual messages without
     wedging the host workers or the channel."""
     bed = make_testbed()
+    # corrupt every 5th NIC→host ring write
+    plane = FaultPlane(bed.sim, seed=1)
+    plane.add(FaultSpec(FaultKind.DMA_TORN, target="server.chan.to_host",
+                        every_nth=5))
     server = bed.add_server("server", LIQUIDIO_CN2350,
-                            config=SchedulerConfig(migration_enabled=False))
+                            config=SchedulerConfig(migration_enabled=False),
+                            fault_plane=plane)
     actor = Actor("hosty", _echo, location=Location.HOST, pinned=True,
                   concurrent=True,
                   profile=WorkloadProfile("h", 2.0, 1.2, 0.5))
     rt = server.runtime
     rt.register_actor(actor, steering_keys=["data"])
-
-    # corrupt every 5th NIC→host ring write
-    original_send = rt.channel.nic_send
-    counter = {"n": 0}
-
-    def flaky_send(msg, corrupt=False):
-        counter["n"] += 1
-        original_send(msg, corrupt=(counter["n"] % 5 == 0))
-
-    rt.channel.nic_send = flaky_send
-    rt._nic_send_or_drop = lambda m: flaky_send(m)
 
     replies = []
     bed.network.attach("client", lambda p: replies.append(p))
@@ -49,6 +48,9 @@ def test_corrupted_ring_messages_dropped_but_service_survives():
 
     failures = rt.channel.to_host.checksum_failures
     assert failures == 10                     # exactly the injected ones
+    assert plane.counts[FaultKind.DMA_TORN] == 10
+    assert rt.channel.to_host.dma.torn_writes == 10
+    assert rt.channel.to_host.nacks == 10     # poll reported each corruption
     assert len(replies) == 50 - failures      # the rest were served
 
 
