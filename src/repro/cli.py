@@ -6,6 +6,8 @@ Usage::
     python -m repro fig2 fig4 table2
     python -m repro fig16 --quick
     python -m repro all --quick
+    python -m repro trace --workload rkv --out trace.json
+    python -m repro top --by node,cat,actor
 
 ``--quick`` shrinks simulation durations ~4x for a fast look; the
 benchmark suite (``pytest benchmarks/ --benchmark-only``) remains the
@@ -127,7 +129,7 @@ def _fig14(quick: bool = False) -> None:
 
 
 def _fig16(quick: bool = False) -> None:
-    from .experiments.scheduler_study import sweep
+    from .experiments.scheduler_study import run_point, sweep
     from .nic import LIQUIDIO_CN2350
     duration = 30_000.0 if quick else 100_000.0
     loads = (0.5, 0.9) if quick else (0.3, 0.5, 0.7, 0.9)
@@ -139,6 +141,15 @@ def _fig16(quick: bool = False) -> None:
             print(" ", render_series(policy, [l for l, _, _ in series],
                                      [p for _, _, p in series],
                                      xfmt="{:.1f}"))
+    # where the sojourn time goes at the knee: a traced rerun of the
+    # hybrid at the highest swept load, attributed per pipeline stage
+    _, _, stages = run_point(LIQUIDIO_CN2350, "ipipe", "high", loads[-1],
+                             duration_us=duration, traced=True)
+    print(f"Figure 16 stage breakdown (ipipe, high dispersion, "
+          f"load={loads[-1]:.1f}):")
+    for stage, st in stages.items():
+        print(f"  {stage:14s} n={st['count']:<8d} p50={st['p50_us']:8.2f}µs "
+              f"p99={st['p99_us']:8.2f}µs")
 
 
 def _fig17(quick: bool = False) -> None:
@@ -181,6 +192,48 @@ def _sec57(quick: bool = False) -> None:
           f"Gbps, 25GbE={ipsec_goodput_gbps(spec=LIQUIDIO_CN2360, duration_us=duration):.1f} Gbps")
 
 
+def _cmd_trace(argv) -> int:
+    """``repro trace``: run a traced workload, export Chrome trace JSON."""
+    from .experiments.chaos_study import RUNNERS
+    parser = argparse.ArgumentParser(
+        prog="python -m repro trace",
+        description="Run one traced workload and export a Perfetto-loadable "
+                    "Chrome trace (open it at https://ui.perfetto.dev).")
+    parser.add_argument("--workload", choices=sorted(RUNNERS), default="rkv")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--out", default="trace.json", metavar="PATH",
+                        help="output path for the trace_event JSON")
+    args = parser.parse_args(argv)
+    report = RUNNERS[args.workload](seed=args.seed, trace=True)
+    print(report.summary())
+    events = report.trace_plane.export_chrome(args.out)
+    print(f"\n{events} trace events -> {args.out} "
+          f"(drag into https://ui.perfetto.dev)")
+    return 0 if report.ok else 1
+
+
+def _cmd_top(argv) -> int:
+    """``repro top``: flame-style fold of span time by node/stage/actor."""
+    from .experiments.chaos_study import RUNNERS
+    parser = argparse.ArgumentParser(
+        prog="python -m repro top",
+        description="Run one traced workload and print where the "
+                    "virtual time went, folded by span fields.")
+    parser.add_argument("--workload", choices=sorted(RUNNERS), default="rkv")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--by", default="node,cat,actor",
+                        help="comma-separated fold key (span fields "
+                             "node/cat/name/track or attribute names)")
+    parser.add_argument("--limit", type=int, default=40)
+    args = parser.parse_args(argv)
+    report = RUNNERS[args.workload](seed=args.seed, trace=True)
+    by = tuple(dim.strip() for dim in args.by.split(",") if dim.strip())
+    print(report.trace_plane.flame(by=by, limit=args.limit))
+    print()
+    print(report.trace_plane.render_stages())
+    return 0
+
+
 EXPERIMENTS: Dict[str, Callable[..., None]] = {
     "table1": lambda quick=False: _table1(),
     "table2": lambda quick=False: _table2(),
@@ -202,6 +255,12 @@ EXPERIMENTS: Dict[str, Callable[..., None]] = {
 
 
 def main(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "trace":
+        return _cmd_trace(argv[1:])
+    if argv and argv[0] == "top":
+        return _cmd_top(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate tables/figures from the iPipe paper.")

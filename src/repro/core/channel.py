@@ -53,6 +53,8 @@ class Ring:
         self.slots = slots
         self.producer_is_nic = producer_is_nic
         self.name = name
+        #: owning node, derived from the "<node>.chan.<dir>" naming scheme
+        self.node_name = name.split(".", 1)[0]
         self._buffer: Deque = deque()
         #: Producer's (possibly stale) view of consumed entries.
         self._producer_free = slots
@@ -113,6 +115,9 @@ class Ring:
             visible_at = max(visible_at, self._buffer[-1][2])
         self._buffer.append((msg, checksum, visible_at))
         self.produced += 1
+        if getattr(self.sim, "tracer", None) is not None:
+            # remembered for the crossing span recorded at poll time
+            msg.meta["ring_t0"] = self.sim.now
         # anchor virtual time so run-to-idle passes the visibility point
         self.sim.call_at(visible_at, _noop)
 
@@ -152,12 +157,26 @@ class Ring:
         self._buffer.popleft()
         self.consumed += 1
         self._note_consumed()
+        tracer = getattr(self.sim, "tracer", None)
         if checksum != message_checksum(msg):
             self.checksum_failures += 1
             self.nacks += 1
+            if tracer is not None:
+                tracer.instant("nack", "channel.retx",
+                               trace=msg.meta.get("trace"),
+                               node=self.node_name, track=self.name,
+                               ring=self.name)
             if self.on_nack is not None:
                 self.on_nack(msg)
             return None
+        if tracer is not None:
+            t0 = msg.meta.pop("ring_t0", None)
+            if t0 is not None:
+                tracer.record_span(
+                    "cross", "channel", t0, self.sim.now,
+                    trace=msg.meta.get("trace"), node=self.node_name,
+                    track=self.name, ring=self.name, size=msg.size,
+                    dir=("to_host" if self.producer_is_nic else "to_nic"))
         return msg
 
     def _note_consumed(self) -> None:
@@ -301,6 +320,13 @@ class ReliableChannel:
 
     def _nacked(self, direction: str, msg: Message) -> None:
         self.retransmits += 1
+        tracer = getattr(self.sim, "tracer", None)
+        if tracer is not None:
+            tracer.instant("retransmit", "channel.retx",
+                           trace=msg.meta.get("trace"),
+                           node=self._dirs[direction].ring.node_name,
+                           track=self._dirs[direction].ring.name,
+                           attempts=msg.meta.get("rel_attempts", 0) + 1)
         self._defer(direction, msg)
 
     # -- consumer -------------------------------------------------------------
@@ -336,15 +362,29 @@ class ReliableChannel:
             while (key, expected) in state.stash:
                 released = state.stash.pop((key, expected))
                 expected += 1
-                self._note_delivered(released)
+                self._note_delivered(released, state.ring)
                 state.ready.append(released)
             state.expected[key] = expected
 
-    def _note_delivered(self, msg: Message) -> None:
+    def _note_delivered(self, msg: Message, ring: Ring) -> None:
         first_fail = msg.meta.pop("rel_first_fail", None)
         if first_fail is not None:
             self.recovered += 1
             self.mttr_samples.append(self.sim.now - first_fail)
+            tracer = getattr(self.sim, "tracer", None)
+            if tracer is not None:
+                # the recovery interval: first failed delivery attempt
+                # until in-order release to the consumer (channel MTTR)
+                tracer.record_span(
+                    "recovery", "channel.retx", first_fail, self.sim.now,
+                    trace=msg.meta.get("trace"), node=ring.node_name,
+                    track=ring.name, key=msg.meta.get("rel_key"),
+                    seq=msg.meta.get("rel_seq"),
+                    attempts=msg.meta.get("rel_attempts", 0))
+            metrics = getattr(self.sim, "metrics", None)
+            if metrics is not None:
+                metrics.histogram("channel.mttr_us").record(
+                    self.sim.now, self.sim.now - first_fail)
 
     # -- introspection --------------------------------------------------------
     def pending(self, direction: str) -> int:

@@ -49,6 +49,8 @@ class MigrationReport:
 PREPARE_COST_US = 15.0
 READY_COST_US = 10.0
 
+PHASE_NAMES = {1: "prepare", 2: "drain", 3: "move", 4: "forward"}
+
 
 class Migrator:
     """Executes migrations on behalf of the scheduler's management core.
@@ -61,6 +63,29 @@ class Migrator:
     def __init__(self, runtime):
         self.runtime = runtime
         self.reports: List[MigrationReport] = []
+
+    def _trace_report(self, report: MigrationReport) -> None:
+        """Emit one parent span per migration with the four phases as
+        strictly-contained children (the phases tile the parent)."""
+        tracer = getattr(self.runtime.sim, "tracer", None)
+        if tracer is None or not report.phase_us:
+            return
+        node = getattr(self.runtime, "node_name", "")
+        end = self.runtime.sim.now
+        start = end - report.total_us
+        parent = tracer.record_span(
+            f"migrate:{report.actor}", "migration", start, end,
+            node=node, track="mgmt", actor=report.actor,
+            direction=report.direction, moved_bytes=report.moved_bytes,
+            forwarded=report.forwarded_requests)
+        t = start
+        for phase in sorted(report.phase_us):
+            dur = report.phase_us[phase]
+            tracer.record_span(
+                PHASE_NAMES.get(phase, f"phase{phase}"), "migration",
+                t, t + dur, parent=parent, node=node, track="mgmt",
+                actor=report.actor, phase=phase)
+            t += dur
 
     # -- NIC → host (push) ----------------------------------------------------
     def migrate_to_host(self, actor: Actor):
@@ -135,6 +160,7 @@ class Migrator:
         if hasattr(self.runtime, "update_steering"):
             self.runtime.update_steering(actor)
         self.reports.append(report)
+        self._trace_report(report)
         return report
 
     # -- host → NIC (pull) --------------------------------------------------------
@@ -179,6 +205,7 @@ class Migrator:
         if hasattr(self.runtime, "update_steering"):
             self.runtime.update_steering(actor)
         self.reports.append(report)
+        self._trace_report(report)
         return report
 
     def last_report(self) -> Optional[MigrationReport]:

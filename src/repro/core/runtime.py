@@ -45,6 +45,10 @@ class ExecutionContext:
         self.actor = actor
         self.core_id = core_id
         self.sim = runtime.sim
+        #: trace context of the message being handled (propagated into
+        #: every send/reply this handler makes) and the enclosing span
+        self._trace = None
+        self._span = None
 
     @property
     def side(self) -> Location:
@@ -86,15 +90,27 @@ class ExecutionContext:
         work runs in software at the Table-3 penalty (MD5 7x, AES 2.5x,
         default 3x for engines the paper doesn't compare).
         """
-        if self.on_nic:
-            yield from self.runtime.nic.accelerators.invoke(
-                name, nbytes=nbytes, batch=batch)
-        else:
-            prof = self.runtime.nic.accelerators.profile(name)
-            host_us = prof.host_software_us
-            if host_us is None:
-                host_us = prof.lat_us_b1 * 3.0
-            yield Timeout(host_us * max(nbytes, 1) / prof.reference_bytes)
+        tracer = getattr(self.sim, "tracer", None)
+        span = None
+        if tracer is not None:
+            span = tracer.start_span(
+                f"accel:{name}", "accel", trace=self._trace,
+                parent=self._span, node=self.runtime.node_name,
+                track="accel", engine=name, nbytes=nbytes, batch=batch,
+                loc=self.side.value)
+        try:
+            if self.on_nic:
+                yield from self.runtime.nic.accelerators.invoke(
+                    name, nbytes=nbytes, batch=batch)
+            else:
+                prof = self.runtime.nic.accelerators.profile(name)
+                host_us = prof.host_software_us
+                if host_us is None:
+                    host_us = prof.lat_us_b1 * 3.0
+                yield Timeout(host_us * max(nbytes, 1) / prof.reference_bytes)
+        finally:
+            if span is not None:
+                tracer.end(span)
 
     def storage_read(self):
         """Generator charging one persistent-storage read (host only)."""
@@ -117,22 +133,29 @@ class ExecutionContext:
         msg = Message(target=target, kind=kind, payload=payload, size=size,
                       source=self.actor.name, created_at=self.sim.now,
                       packet=packet)
+        if self._trace is not None:
+            msg.meta["trace"] = self._trace
         self.runtime.route_local(msg, origin=self.side)
 
     def send_remote(self, node: str, target: str, kind: str = "request",
                     payload=None, size: int = 64) -> None:
         """Message to an actor on another machine (goes over the wire)."""
-        self.runtime.transmit_from(
-            self.side,
-            Packet(src=self.runtime.node_name, dst=node, size=size,
-                   kind=target, payload={"kind": kind, "payload": payload},
-                   created_at=self.sim.now))
+        pkt = Packet(src=self.runtime.node_name, dst=node, size=size,
+                     kind=target, payload={"kind": kind, "payload": payload},
+                     created_at=self.sim.now)
+        if self._trace is not None:
+            # the trace id survives the hop: the remote ingress continues
+            # this trace rather than starting a fresh one
+            pkt.meta["trace"] = self._trace
+        self.runtime.transmit_from(self.side, pkt)
 
     def reply(self, msg: Message, payload=None, size: Optional[int] = None) -> None:
         """Send the response packet back to the request's originator."""
         if msg.packet is None:
             raise ValueError("message did not arrive from the wire")
         reply = msg.packet.reply(size=size, payload=payload)
+        if self._trace is not None:
+            reply.meta["trace"] = self._trace
         self.runtime.transmit_from(self.side, reply)
 
     # -- DMO API -----------------------------------------------------------------
@@ -245,6 +268,7 @@ class IPipeRuntime:
             redeliver=self.deliver,
             core_util=nic.core_util,
             on_actor_killed=self._on_actor_killed,
+            node_name=node_name,
         )
         if fault_plane is not None:
             fault_plane.wire_runtime(self)
@@ -398,6 +422,16 @@ class IPipeRuntime:
                       size=packet.size, source=packet.src,
                       created_at=packet.created_at, packet=packet)
         msg.meta["nic_arrival"] = self.sim.now
+        tracer = getattr(self.sim, "tracer", None)
+        if tracer is not None:
+            # the trace starts here (or continues one begun on a remote
+            # node); every downstream stage joins via msg.meta["trace"]
+            span = tracer.instant(
+                f"rx:{packet.kind}", "ingress",
+                trace=packet.meta.get("trace"), node=self.node_name,
+                track="nic-rx", target=target, src=packet.src,
+                size=packet.size)
+            msg.meta["trace"] = span.ctx
         self.deliver(msg)
 
     def deliver(self, msg: Message) -> None:
@@ -416,7 +450,8 @@ class IPipeRuntime:
             self.nic.traffic_manager.push(WorkItem(
                 forward_cost_us=cost,
                 forward_action=lambda m=msg: self._nic_send_or_drop(m),
-                arrived_at=msg.meta.get("nic_arrival", self.sim.now)))
+                arrived_at=msg.meta.get("nic_arrival", self.sim.now),
+                trace=msg.meta.get("trace")))
         else:
             self.enqueue_nic_message(msg)
 
@@ -433,6 +468,14 @@ class IPipeRuntime:
                       size=packet.size, source=packet.src,
                       created_at=packet.created_at, packet=packet)
         msg.meta["nic_arrival"] = self.sim.now
+        tracer = getattr(self.sim, "tracer", None)
+        if tracer is not None:
+            span = tracer.instant(
+                f"rx:{packet.kind}", "ingress",
+                trace=packet.meta.get("trace"), node=self.node_name,
+                track="nic-switch", target=target, src=packet.src,
+                size=packet.size, bypass=True)
+            msg.meta["trace"] = span.ctx
         self.host_queue.put_nowait(msg)
 
     def update_steering(self, actor: Actor) -> None:
@@ -544,7 +587,8 @@ class IPipeRuntime:
         self.nic.traffic_manager.push(WorkItem(
             forward_cost_us=self.nic.forward_cost(packet.size),
             forward_action=lambda p=packet: self.nic.transmit(p),
-            arrived_at=self.sim.now))
+            arrived_at=self.sim.now,
+            trace=packet.meta.get("trace")))
 
     # -- NIC-side handler execution ------------------------------------------------
     def _nic_executor(self, core_id: int, actor: Actor, msg: Message):
@@ -552,6 +596,8 @@ class IPipeRuntime:
         yield from self._drive(actor, msg, ctx)
 
     def _drive(self, actor: Actor, msg: Message, ctx: ExecutionContext):
+        ctx._trace = msg.meta.get("trace")
+        ctx._span = msg.meta.get("span")
         result = actor.exec_handler(actor, msg, ctx)
         if inspect.isgenerator(result):
             yield from result
@@ -627,6 +673,15 @@ class IPipeRuntime:
             if not actor.try_lock(1000 + worker_id):
                 actor.mailbox.append(msg)
                 continue
+            tracer = getattr(self.sim, "tracer", None)
+            span = None
+            if tracer is not None:
+                span = tracer.start_span(
+                    f"host:{actor.name}", "host",
+                    trace=msg.meta.get("trace"), node=self.node_name,
+                    track=f"hostw{worker_id}", actor=actor.name,
+                    worker=worker_id, loc="host")
+                msg.meta["span"] = span
             try:
                 start = self.sim.now
                 tx_before = self._host_ring_writes
@@ -646,12 +701,19 @@ class IPipeRuntime:
                               + self.BOOKKEEPING_FLOOR_US)
                 busy = self.sim.now - start
             finally:
+                if span is not None:
+                    tracer.end(span)
+                    msg.meta.pop("span", None)
                 actor.unlock(1000 + worker_id)
             self.host_util[worker_id].add_busy(busy)
             actor.record_execution(
                 self.sim.now - msg.meta.get("nic_arrival", msg.created_at),
                 msg.size, service_us=busy)
             self.host_ops += 1
+            metrics = getattr(self.sim, "metrics", None)
+            if metrics is not None:
+                metrics.histogram("host.service_us").record(self.sim.now, busy)
+                metrics.counter("host.ops").inc(self.sim.now)
 
     # -- metrics -----------------------------------------------------------------------
     def host_cores_used(self, elapsed_us: float) -> float:

@@ -74,16 +74,20 @@ class WorkItem:
     """What the traffic manager queue carries: a message bound for an
     actor, or a raw forwarding task (transit traffic / host TX)."""
 
-    __slots__ = ("message", "forward_cost_us", "forward_action", "arrived_at")
+    __slots__ = ("message", "forward_cost_us", "forward_action", "arrived_at",
+                 "trace")
 
     def __init__(self, message: Optional[Message] = None,
                  forward_cost_us: float = 0.0,
                  forward_action: Optional[Callable[[], None]] = None,
-                 arrived_at: float = 0.0):
+                 arrived_at: float = 0.0,
+                 trace=None):
         self.message = message
         self.forward_cost_us = forward_cost_us
         self.forward_action = forward_action
         self.arrived_at = arrived_at
+        #: trace context of the request this raw item forwards, if any
+        self.trace = trace
 
 
 #: executor(core_id, actor, message) -> generator charging virtual time
@@ -106,8 +110,11 @@ class NicScheduler:
                  on_pull_migration: Optional[Callable[[], Optional[object]]] = None,
                  redeliver: Optional[Callable[[Message], None]] = None,
                  core_util=None,
-                 on_actor_killed: Optional[Callable[[Actor], None]] = None):
+                 on_actor_killed: Optional[Callable[[Actor], None]] = None,
+                 node_name: str = "nic"):
         self.sim = sim
+        #: owning server's name, stamped onto spans and metrics
+        self.node_name = node_name
         self.num_cores = num_cores
         self.queue = work_queue
         self.actors = actor_table
@@ -282,6 +289,12 @@ class NicScheduler:
             self._account(core_id, "fcfs", self.sim.now - start)
             self.fcfs_tracker.record(self.sim.now - item.arrived_at)
             self.forwards_completed += 1
+            tracer = getattr(self.sim, "tracer", None)
+            if tracer is not None:
+                tracer.record_span(
+                    "forward", "forward", item.arrived_at, self.sim.now,
+                    trace=item.trace, node=self.node_name,
+                    track=f"core{core_id}", wait_us=start - item.arrived_at)
             return
 
         actor = self.actors.lookup(item.message.target)
@@ -387,6 +400,20 @@ class NicScheduler:
             # exec_lock held elsewhere: requeue behind current work
             actor.mailbox.append(msg)
             return
+        tracer = getattr(self.sim, "tracer", None)
+        span = None
+        if tracer is not None:
+            tctx = msg.meta.get("trace")
+            if arrived_at and self.sim.now > arrived_at:
+                tracer.record_span(
+                    "queue-wait", "sched.wait", arrived_at, self.sim.now,
+                    trace=tctx, node=self.node_name, track=f"core{core_id}",
+                    actor=actor.name, group=group)
+            span = tracer.start_span(
+                f"exec:{actor.name}", "service", trace=tctx,
+                node=self.node_name, track=f"core{core_id}",
+                actor=actor.name, core=core_id, group=group, loc="nic")
+            msg.meta["span"] = span
         watchdog = self._watchdogs[core_id]
         watchdog.arm(self.sim.now, actor)
         start = self.sim.now
@@ -396,6 +423,9 @@ class NicScheduler:
                 yield from self._bounded(gen, watchdog)
         finally:
             watchdog.disarm()
+            if span is not None:
+                tracer.end(span)
+                msg.meta.pop("span", None)
             if group == "fcfs":
                 actor.unlock(core_id)
                 # Requests that arrived while we held the exec_lock were
@@ -420,6 +450,13 @@ class NicScheduler:
         tracker = self.fcfs_tracker if core_mode == "fcfs" else self.drr_tracker
         tracker.record(wait)
         self.ops_completed += 1
+        metrics = getattr(self.sim, "metrics", None)
+        if metrics is not None:
+            now = self.sim.now
+            metrics.histogram("sched.wait_us").record(now, wait)
+            metrics.histogram("sched.service_us").record(now, busy)
+            metrics.histogram("sched.response_us").record(now, response)
+            metrics.counter("sched.ops").inc(now)
 
     def _bounded(self, gen, watchdog: Watchdog):
         """Drive a handler generator under the DoS watchdog."""

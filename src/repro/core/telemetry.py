@@ -9,7 +9,7 @@ examples, and the experiment harnesses.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Any, Dict, List
 
 from .actor import Location
 
@@ -29,30 +29,30 @@ class ActorSnapshot:
 
 @dataclass
 class SchedulerSnapshot:
-    fcfs_cores: int
-    drr_cores: int
-    fcfs_wait_mean_us: float
-    fcfs_wait_tail_us: float
-    ops_completed: int
-    forwards_completed: int
-    downgrades: int
-    upgrades: int
-    pushes: int
-    pulls: int
-    core_moves: int
+    fcfs_cores: int = 0
+    drr_cores: int = 0
+    fcfs_wait_mean_us: float = 0.0
+    fcfs_wait_tail_us: float = 0.0
+    ops_completed: int = 0
+    forwards_completed: int = 0
+    downgrades: int = 0
+    upgrades: int = 0
+    pushes: int = 0
+    pulls: int = 0
+    core_moves: int = 0
     core_failures: int = 0
     core_stalls: int = 0
 
 
 @dataclass
 class ChannelSnapshot:
-    to_host_produced: int
-    to_host_consumed: int
-    to_nic_produced: int
-    to_nic_consumed: int
-    checksum_failures: int
-    sync_messages: int
-    drops: int
+    to_host_produced: int = 0
+    to_host_consumed: int = 0
+    to_nic_produced: int = 0
+    to_nic_consumed: int = 0
+    checksum_failures: int = 0
+    sync_messages: int = 0
+    drops: int = 0
     nacks: int = 0
     retransmits: int = 0
     ring_full_backoffs: int = 0
@@ -91,11 +91,14 @@ class RuntimeSnapshot:
     nic_cores_used: float
     host_cores_used: float
     actors: List[ActorSnapshot] = field(default_factory=list)
-    scheduler: SchedulerSnapshot = None
-    channel: ChannelSnapshot = None
+    scheduler: SchedulerSnapshot = field(default_factory=SchedulerSnapshot)
+    channel: ChannelSnapshot = field(default_factory=ChannelSnapshot)
     migrations: int = 0
     dos_kills: List[str] = field(default_factory=list)
-    recovery: RecoverySnapshot = None
+    recovery: RecoverySnapshot = field(default_factory=RecoverySnapshot)
+    #: windowed metrics from the TracePlane registry, when one is
+    #: installed on the simulator ({metric name: typed summary dict})
+    metrics: Dict[str, Dict[str, Any]] = field(default_factory=dict)
 
     def actor(self, name: str) -> ActorSnapshot:
         for snap in self.actors:
@@ -135,6 +138,8 @@ def snapshot(runtime, window_us: float = None) -> RuntimeSnapshot:
     elapsed = window_us if window_us is not None else max(sim.now, 1.0)
     sched = runtime.nic_scheduler
     chan = runtime.channel
+    rchannel = runtime.rchannel
+    registry = getattr(sim, "metrics", None)
 
     actors = []
     for actor in runtime.actors:
@@ -169,8 +174,8 @@ def snapshot(runtime, window_us: float = None) -> RuntimeSnapshot:
             pushes=sched.pushes,
             pulls=sched.pulls,
             core_moves=sched.core_moves,
-            core_failures=getattr(sched, "core_failures", 0),
-            core_stalls=getattr(sched, "core_stalls", 0),
+            core_failures=sched.core_failures,
+            core_stalls=sched.core_stalls,
         ),
         channel=ChannelSnapshot(
             to_host_produced=chan.to_host.produced,
@@ -181,17 +186,16 @@ def snapshot(runtime, window_us: float = None) -> RuntimeSnapshot:
                                + chan.to_nic.checksum_failures),
             sync_messages=(chan.to_host.sync_messages
                            + chan.to_nic.sync_messages),
-            drops=getattr(runtime, "channel_drops", 0),
-            nacks=(getattr(chan.to_host, "nacks", 0)
-                   + getattr(chan.to_nic, "nacks", 0)),
-            retransmits=(runtime.rchannel.retransmits
-                         if getattr(runtime, "rchannel", None) else 0),
-            ring_full_backoffs=(runtime.rchannel.ring_full_backoffs
-                                if getattr(runtime, "rchannel", None) else 0),
+            drops=runtime.channel_drops,
+            nacks=chan.to_host.nacks + chan.to_nic.nacks,
+            retransmits=rchannel.retransmits if rchannel is not None else 0,
+            ring_full_backoffs=(rchannel.ring_full_backoffs
+                                if rchannel is not None else 0),
         ),
         migrations=len(runtime.migrator.reports),
         dos_kills=list(runtime.config.isolation.kills),
         recovery=recovery_snapshot(runtime),
+        metrics=registry.snapshot(sim.now) if registry is not None else {},
     )
 
 
@@ -199,11 +203,12 @@ def recovery_snapshot(runtime) -> RecoverySnapshot:
     """Roll up FaultPlane + recovery telemetry for one server."""
     sched = runtime.nic_scheduler
     chan = runtime.channel
-    rchannel = getattr(runtime, "rchannel", None)
-    plane = getattr(runtime, "fault_plane", None)
+    rchannel = runtime.rchannel              # Optional[ReliableChannel]
+    plane = runtime.fault_plane              # Optional[FaultPlane]
 
-    channel_samples = list(rchannel.mttr_samples) if rchannel else []
-    restart_samples = list(getattr(runtime, "recovery_mttr", []))
+    channel_samples = (list(rchannel.mttr_samples)
+                       if rchannel is not None else [])
+    restart_samples = list(runtime.recovery_mttr)
     all_samples = channel_samples + restart_samples
 
     def _mean(samples):
@@ -213,16 +218,17 @@ def recovery_snapshot(runtime) -> RecoverySnapshot:
         faults_injected=dict(plane.counts) if plane is not None else {},
         fault_schedule_len=(len(plane.schedule_log)
                             if plane is not None else 0),
-        retransmits=rchannel.retransmits if rchannel else 0,
-        ring_full_backoffs=rchannel.ring_full_backoffs if rchannel else 0,
-        nacks=(getattr(chan.to_host, "nacks", 0)
-               + getattr(chan.to_nic, "nacks", 0)),
-        messages_recovered=rchannel.recovered if rchannel else 0,
-        duplicates_dropped=rchannel.duplicates_dropped if rchannel else 0,
-        crashes=getattr(runtime, "crashes", 0),
-        restarts=getattr(runtime, "restarts", 0),
-        core_failures=getattr(sched, "core_failures", 0),
-        core_stalls=getattr(sched, "core_stalls", 0),
+        retransmits=rchannel.retransmits if rchannel is not None else 0,
+        ring_full_backoffs=(rchannel.ring_full_backoffs
+                            if rchannel is not None else 0),
+        nacks=chan.to_host.nacks + chan.to_nic.nacks,
+        messages_recovered=rchannel.recovered if rchannel is not None else 0,
+        duplicates_dropped=(rchannel.duplicates_dropped
+                            if rchannel is not None else 0),
+        crashes=runtime.crashes,
+        restarts=runtime.restarts,
+        core_failures=sched.core_failures,
+        core_stalls=sched.core_stalls,
         mttr_mean_us=_mean(all_samples),
         mttr_max_us=max(all_samples) if all_samples else 0.0,
         restart_mttr_mean_us=_mean(restart_samples),

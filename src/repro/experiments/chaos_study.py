@@ -36,6 +36,7 @@ from ..apps.rta import RtaWorkerNode
 from ..core import Message, SchedulerConfig, recovery_snapshot
 from ..net import Packet
 from ..nic import LIQUIDIO_CN2350
+from ..obs import TracePlane
 from ..sim import (
     FaultKind,
     FaultPlane,
@@ -147,6 +148,13 @@ class ChaosReport:
     fault_schedule: List[Tuple[float, str, str]] = field(default_factory=list)
     recovery: Dict[str, object] = field(default_factory=dict)  # per node
     invariants: Dict[str, bool] = field(default_factory=dict)
+    #: per-stage latency table from the TracePlane ({stage: {p50_us, ...}});
+    #: empty when the scenario ran untraced
+    stage_latencies: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: the TracePlane itself, for Chrome-trace export (not part of the
+    #: replay fingerprint)
+    trace_plane: Optional[TracePlane] = field(default=None, repr=False,
+                                              compare=False)
 
     @property
     def ok(self) -> bool:
@@ -189,6 +197,10 @@ class ChaosReport:
                 f"{name}={'ok' if good else 'VIOLATED'}"
                 for name, good in self.invariants.items()),
         ]
+        for stage, st in self.stage_latencies.items():
+            lines.append(
+                f"  stage {stage:14s} n={st['count']:<7d} "
+                f"p50={st['p50_us']:8.2f}µs p99={st['p99_us']:8.2f}µs")
         return "\n".join(lines)
 
 
@@ -205,6 +217,14 @@ def _collect(bed: Testbed, plane: FaultPlane) -> Tuple[Dict, List, Dict]:
     recovery = {name: recovery_snapshot(server.runtime)
                 for name, server in sorted(bed.servers.items())}
     return dict(plane.counts), list(plane.schedule_log), recovery
+
+
+def _finish_trace(tplane: Optional[TracePlane]) -> Dict[str, Dict[str, float]]:
+    """Flush open spans and return the per-stage p50/p99 table."""
+    if tplane is None or tplane.tracer is None:
+        return {}
+    tplane.tracer.close_all()
+    return tplane.stage_report()
 
 
 # -- RKV ----------------------------------------------------------------------
@@ -226,7 +246,8 @@ def run_rkv_chaos(seed: int = 42, loss: float = 0.02,
                   crash_memtable: bool = True,
                   duration_us: float = 60_000.0,
                   value_bytes: int = 64,
-                  send_gap_us: float = 200.0) -> ChaosReport:
+                  send_gap_us: float = 200.0,
+                  trace: bool = False) -> ChaosReport:
     """Replicated KV store under link loss + torn DMA + an actor crash.
 
     The acceptance scenario: ≥1% link loss and periodic torn writes on
@@ -234,6 +255,7 @@ def run_rkv_chaos(seed: int = 42, loss: float = 0.02,
     enabled — and still zero client-visible request loss.
     """
     bed = make_testbed(seed=seed)
+    tplane = TracePlane(bed.sim) if trace else None
     plane = FaultPlane(bed.sim, seed=seed)
     plane.add(FaultSpec(FaultKind.LINK_LOSS, target="*", probability=loss))
     plane.add(FaultSpec(FaultKind.DMA_TORN, target="s0.chan.*",
@@ -304,6 +326,8 @@ def run_rkv_chaos(seed: int = 42, loss: float = 0.02,
             "zero_loss": client.lost == 0,
             "paxos_safety": paxos_safety_ok(rkv),
         },
+        stage_latencies=_finish_trace(tplane),
+        trace_plane=tplane,
     )
 
 
@@ -332,10 +356,12 @@ def occ_provenance_ok(coordinator: DtCoordinatorNode,
 def run_dt_chaos(seed: int = 42, loss: float = 0.005,
                  torn_every_nth: int = 9, n_txns: int = 30,
                  duration_us: float = 60_000.0,
-                 send_gap_us: float = 300.0) -> ChaosReport:
+                 send_gap_us: float = 300.0,
+                 trace: bool = False) -> ChaosReport:
     """Distributed transactions under loss: every txn must be answered
     (committed or aborted) and no aborted write may leak into a store."""
     bed = make_testbed(seed=seed)
+    tplane = TracePlane(bed.sim) if trace else None
     plane = FaultPlane(bed.sim, seed=seed)
     plane.add(FaultSpec(FaultKind.LINK_LOSS, target="*", probability=loss))
     plane.add(FaultSpec(FaultKind.DMA_TORN, target="s0.chan.*",
@@ -382,16 +408,20 @@ def run_dt_chaos(seed: int = 42, loss: float = 0.005,
             "zero_loss": client.lost == 0,
             "occ_provenance": occ_provenance_ok(coordinator, participants),
         },
+        stage_latencies=_finish_trace(tplane),
+        trace_plane=tplane,
     )
 
 
 # -- RTA ----------------------------------------------------------------------
 def run_rta_chaos(seed: int = 42, loss: float = 0.01,
                   n_requests: int = 40, duration_us: float = 60_000.0,
-                  send_gap_us: float = 250.0) -> ChaosReport:
+                  send_gap_us: float = 250.0,
+                  trace: bool = False) -> ChaosReport:
     """Analytics pipeline surviving a NIC core failure, a core stall and
     a crash of the stateful counter actor."""
     bed = make_testbed(seed=seed)
+    tplane = TracePlane(bed.sim) if trace else None
     plane = FaultPlane(bed.sim, seed=seed)
     plane.add(FaultSpec(FaultKind.LINK_LOSS, target="*", probability=loss))
     plane.add(FaultSpec(FaultKind.CORE_FAIL, target="3", node="s0",
@@ -439,6 +469,8 @@ def run_rta_chaos(seed: int = 42, loss: float = 0.01,
                                 and sched.fcfs_cores() >= 1),
             "tuples_processed": worker.tuples_in > 0,
         },
+        stage_latencies=_finish_trace(tplane),
+        trace_plane=tplane,
     )
 
 
@@ -458,6 +490,13 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="link loss probability override")
     parser.add_argument("--duration-ms", type=float, default=None,
                         help="nominal run length override (milliseconds)")
+    parser.add_argument("--trace", action="store_true",
+                        help="run with a TracePlane and report per-stage "
+                             "p50/p99 latency breakdowns")
+    parser.add_argument("--trace-out", default=None, metavar="PATH",
+                        help="write Chrome trace_event JSON (implies "
+                             "--trace; with multiple workloads the name "
+                             "gets a per-workload suffix)")
     args = parser.parse_args(argv)
 
     names = list(RUNNERS) if args.workload == "all" else [args.workload]
@@ -468,8 +507,17 @@ def main(argv: Optional[List[str]] = None) -> int:
             kwargs["loss"] = args.loss
         if args.duration_ms is not None:
             kwargs["duration_us"] = args.duration_ms * 1_000.0
+        if args.trace or args.trace_out:
+            kwargs["trace"] = True
         report = RUNNERS[name](**kwargs)
         print(report.summary())
+        if args.trace_out and report.trace_plane is not None:
+            path = args.trace_out
+            if len(names) > 1:
+                stem, dot, ext = path.rpartition(".")
+                path = f"{stem}-{name}{dot}{ext}" if dot else f"{path}-{name}"
+            events = report.trace_plane.export_chrome(path)
+            print(f"  trace: {events} events -> {path}")
         if not report.ok:
             failed += 1
     return 1 if failed else 0

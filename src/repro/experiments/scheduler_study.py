@@ -27,6 +27,7 @@ from typing import Dict, List, Sequence, Tuple
 from ..core import Actor, SchedulerConfig
 from ..core.actor import Location
 from ..nic import LIQUIDIO_CN2350, STINGRAY_PS225, NicSpec
+from ..obs import TracePlane
 from ..sim import LatencyRecorder, Rng, Timeout
 from .testbed import make_testbed
 
@@ -120,8 +121,15 @@ def _policy_config(policy: str, spec: NicSpec) -> SchedulerConfig:
 
 def run_point(spec: NicSpec, policy: str, dispersion: str, load: float,
               duration_us: float = 60_000.0, seed: int = 1,
-              frame_bytes: int = 512) -> Tuple[float, float]:
-    """One (policy, dispersion, load) cell → (mean, p99) sojourn in µs."""
+              frame_bytes: int = 512,
+              traced: bool = False) -> Tuple[float, ...]:
+    """One (policy, dispersion, load) cell → (mean, p99) sojourn in µs.
+
+    With ``traced=True`` a :class:`TracePlane` rides along and the return
+    grows a third element: the per-stage p50/p99 table
+    (``{stage: {count, p50_us, p99_us, ...}}``) attributing where the
+    sojourn time went — queue wait vs service vs channel crossing.
+    """
     if dispersion == "low":
         trace = low_dispersion_actors(MEAN_SERVICE_US[spec.model])
     elif dispersion == "high":
@@ -130,6 +138,7 @@ def run_point(spec: NicSpec, policy: str, dispersion: str, load: float,
         raise ValueError(f"unknown dispersion {dispersion!r}")
 
     bed = make_testbed(bandwidth_gbps=spec.bandwidth_gbps)
+    tplane = TracePlane(bed.sim) if traced else None
     server = bed.add_server("server", spec, config=_policy_config(policy, spec))
     recorder = LatencyRecorder("sojourn")
     handler = _make_handler(recorder)
@@ -186,6 +195,9 @@ def run_point(spec: NicSpec, policy: str, dispersion: str, load: float,
     warm = recorder.samples[len(recorder.samples) // 3:]
     warm_rec = LatencyRecorder("warm")
     warm_rec.samples = warm
+    if tplane is not None:
+        tplane.tracer.close_all()
+        return warm_rec.mean, warm_rec.p99, tplane.stage_report()
     return warm_rec.mean, warm_rec.p99
 
 

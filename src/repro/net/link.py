@@ -60,17 +60,28 @@ class Link:
         deliver_at = done + self.propagation_us
         self.frames_sent += 1
         self.bytes_sent += packet.size
+        fate = None
         if self.fault_plane is not None:
             fate = self.fault_plane.frame_fate(self.name, packet)
-            if fate is not None:
-                # the frame still occupies the wire; it is just never
-                # handed up (lost, or discarded by the receiving MAC on
-                # an FCS mismatch)
-                if fate == "drop":
-                    self.frames_dropped += 1
-                else:
-                    self.frames_corrupted += 1
-                return deliver_at
+        tracer = getattr(self.sim, "tracer", None)
+        if tracer is not None:
+            # wire occupancy: queueing behind the previous frame is
+            # visible as start > sim.now in the exported trace
+            tracer.record_span(
+                "tx", "link", start, deliver_at,
+                trace=packet.meta.get("trace"),
+                node=self.name.split(".", 1)[0], track=self.name,
+                size=packet.size, kind=packet.kind,
+                fate=fate or "delivered")
+        if fate is not None:
+            # the frame still occupies the wire; it is just never
+            # handed up (lost, or discarded by the receiving MAC on
+            # an FCS mismatch)
+            if fate == "drop":
+                self.frames_dropped += 1
+            else:
+                self.frames_corrupted += 1
+            return deliver_at
         self.sim.call_at(deliver_at, self.receiver, packet)
         return deliver_at
 

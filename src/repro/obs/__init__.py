@@ -1,0 +1,32 @@
+"""TracePlane: distributed tracing, windowed metrics, virtual-time profiling."""
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .plane import TracePlane
+from .profiler import (
+    StageStats,
+    fold,
+    render_flame,
+    render_stages,
+    stage_breakdown,
+    to_chrome_trace,
+    write_chrome_trace,
+)
+from .trace import Span, SpanContext, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "TracePlane",
+    "StageStats",
+    "fold",
+    "render_flame",
+    "render_stages",
+    "stage_breakdown",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "Span",
+    "SpanContext",
+    "Tracer",
+]

@@ -42,6 +42,11 @@ class Simulator:
         self._heap: List[Tuple[float, int, "EventHandle"]] = []
         self._seq: int = 0
         self._running = False
+        #: observability hooks, set by repro.obs.TracePlane.  Components
+        #: check these per event and do nothing while they are None, so
+        #: an uninstrumented run costs one attribute read per check.
+        self.tracer = None
+        self.metrics = None
 
     @property
     def now(self) -> float:
