@@ -99,7 +99,7 @@ class DpdkRuntime:
         # worker; batching discounts occupancy, not one-shot latency)
         pipeline = max(dpdk_recv_us(packet.size)
                        - self.stack.rx_cost(packet.size), 0.0)
-        self.sim.call_in(self._dma.write_latency_us(packet.size) + pipeline,
+        self.sim.post(self._dma.write_latency_us(packet.size) + pipeline,
                          self.rx_queue.put_nowait, msg)
 
     def route_local(self, msg: Message, origin: Location) -> None:
@@ -113,7 +113,7 @@ class DpdkRuntime:
         # share of the Figure-6 send latency
         pipeline = max(dpdk_send_us(packet.size)
                        - self.stack.tx_cost(packet.size), 0.0)
-        self.sim.call_in(self._dma.read_latency_us(packet.size) + pipeline,
+        self.sim.post(self._dma.read_latency_us(packet.size) + pipeline,
                          self._uplink.transmit, packet)
 
     # -- worker loop ---------------------------------------------------------------

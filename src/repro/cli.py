@@ -8,6 +8,14 @@ Usage::
     python -m repro all --quick
     python -m repro trace --workload rkv --out trace.json
     python -m repro top --by node,cat,actor
+    python -m repro fig16 --jobs 4
+    python -m repro sweep fig16 --jobs 4 --quick
+    python -m repro bench --out BENCH_sweep.json
+
+``--jobs N`` fans a figure's grid out to N worker processes through the
+sweep executor (results are bit-identical to a serial run); ``sweep``
+additionally caches point results on disk so re-runs only recompute
+dirty points; ``bench`` emits the perf baseline ``BENCH_sweep.json``.
 
 ``--quick`` shrinks simulation durations ~4x for a fast look; the
 benchmark suite (``pytest benchmarks/ --benchmark-only``) remains the
@@ -21,6 +29,14 @@ import sys
 from typing import Callable, Dict
 
 from .experiments.report import render_series, render_table
+
+
+def _executor(jobs: int):
+    """A :class:`ParallelSweep` for ``--jobs N`` fan-out, or None serial."""
+    if jobs <= 1:
+        return None
+    from .exec import ParallelSweep
+    return ParallelSweep(jobs=jobs)
 
 
 def _table1() -> None:
@@ -39,7 +55,7 @@ def _table3() -> None:
     print(render_table(table3_accel_rows(), title="Table 3: accelerators"))
 
 
-def _fig2(quick: bool = False) -> None:
+def _fig2(quick: bool = False, jobs: int = 1) -> None:
     from .experiments.characterization import figure2_series
     from .nic import LIQUIDIO_CN2350
     print("Figure 2: bandwidth (Gbps) vs cores, LiquidIOII CN2350")
@@ -47,7 +63,7 @@ def _fig2(quick: bool = False) -> None:
         print(" ", render_series(f"{size}B", *zip(*points)))
 
 
-def _fig3(quick: bool = False) -> None:
+def _fig3(quick: bool = False, jobs: int = 1) -> None:
     from .experiments.characterization import figure2_series
     from .nic import STINGRAY_PS225
     print("Figure 3: bandwidth (Gbps) vs cores, Stingray PS225")
@@ -55,7 +71,7 @@ def _fig3(quick: bool = False) -> None:
         print(" ", render_series(f"{size}B", *zip(*points)))
 
 
-def _fig4(quick: bool = False) -> None:
+def _fig4(quick: bool = False, jobs: int = 1) -> None:
     from .experiments.characterization import computing_headroom_us
     from .nic import LIQUIDIO_CN2350, STINGRAY_PS225
     print("Figure 4: computing headroom (µs/packet at line rate)")
@@ -65,25 +81,26 @@ def _fig4(quick: bool = False) -> None:
               f"1024B={computing_headroom_us(spec, 1024):.2f}")
 
 
-def _fig5(quick: bool = False) -> None:
-    from .experiments.characterization import traffic_manager_experiment
+def _fig5(quick: bool = False, jobs: int = 1) -> None:
+    from .experiments.characterization import figure5_panel
     duration = 8_000.0 if quick else 25_000.0
     print("Figure 5: avg/p99 latency at max throughput (CN2350)")
+    panel = figure5_panel(duration_us=duration, executor=_executor(jobs))
     for size in (64, 512, 1024, 1500):
         for cores in (6, 12):
-            p = traffic_manager_experiment(size, cores, duration_us=duration)
+            p = panel[(size, cores)]
             print(f"  {size:5d}B {cores:2d} cores: avg={p.avg_us:6.2f}µs "
                   f"p99={p.p99_us:6.2f}µs")
 
 
-def _fig6(quick: bool = False) -> None:
+def _fig6(quick: bool = False, jobs: int = 1) -> None:
     from .experiments.characterization import figure6_series
     print("Figure 6: messaging latency (µs)")
     for name, points in figure6_series().items():
         print(" ", render_series(name, *zip(*points)))
 
 
-def _fig7_10(quick: bool = False) -> None:
+def _fig7_10(quick: bool = False, jobs: int = 1) -> None:
     from .experiments.characterization import (
         figure7_series, figure8_series, figure9_series, figure10_series)
     for title, series in (
@@ -97,38 +114,34 @@ def _fig7_10(quick: bool = False) -> None:
             print(" ", render_series(name, *zip(*points)))
 
 
-def _fig13(quick: bool = False) -> None:
-    from .experiments.applications import ROLES, run_app
-    from .nic import LIQUIDIO_CN2350
-    duration = 8_000.0 if quick else 15_000.0
+def _fig13(quick: bool = False, jobs: int = 1) -> None:
+    from .exec import ParallelSweep, grids
+    from .experiments.applications import ROLES
     sizes = (512,) if quick else (64, 256, 512, 1024)
+    merged = ParallelSweep(jobs=jobs).run(grids.fig13_grid(quick=quick)).results
     print("Figure 13: host cores used (10GbE CN2350)")
     for size in sizes:
-        clients = 192 if size == 64 else 96
         for system in ("dpdk", "ipipe"):
-            results = {app: run_app(system, app, packet_size=size,
-                                    clients=clients, duration_us=duration)
-                       for app in ("rta", "dt", "rkv")}
             for role, (app, idx) in ROLES.items():
-                cores = results[app].host_cores[f"s{idx}"]
+                cores = merged[("fig13", system, app, size)].host_cores[f"s{idx}"]
                 print(f"  {size:5d}B {system:5s} {role:15s} {cores:5.2f}")
 
 
-def _fig14(quick: bool = False) -> None:
-    from .experiments.applications import latency_throughput_curve
-    duration = 8_000.0 if quick else 12_000.0
+def _fig14(quick: bool = False, jobs: int = 1) -> None:
+    from .exec import ParallelSweep, grids
     clients = (2, 16) if quick else (2, 8, 24, 64)
+    merged = ParallelSweep(jobs=jobs).run(grids.fig14_grid(quick=quick)).results
     print("Figure 14: latency vs per-core throughput (10GbE, 512B)")
     for system in ("dpdk", "ipipe"):
         for app in ("rta", "dt", "rkv"):
-            curve = latency_throughput_curve(system, app,
-                                             client_counts=clients,
-                                             duration_us=duration)
+            curve = [(merged[("fig14", system, app, c)].per_core_tput("s0"),
+                      merged[("fig14", system, app, c)].mean_latency_us)
+                     for c in clients]
             pts = " ".join(f"{t:.2f}Mops@{l:.1f}µs" for t, l in curve)
             print(f"  {app}-{system}: {pts}")
 
 
-def _fig16(quick: bool = False) -> None:
+def _fig16(quick: bool = False, jobs: int = 1) -> None:
     from .experiments.scheduler_study import run_point, sweep
     from .nic import LIQUIDIO_CN2350
     duration = 30_000.0 if quick else 100_000.0
@@ -136,7 +149,7 @@ def _fig16(quick: bool = False) -> None:
     for dispersion in ("low", "high"):
         print(f"Figure 16 ({dispersion} dispersion, CN2350): p99 (µs)")
         results = sweep(LIQUIDIO_CN2350, dispersion, loads,
-                        duration_us=duration)
+                        duration_us=duration, executor=_executor(jobs))
         for policy, series in results.items():
             print(" ", render_series(policy, [l for l, _, _ in series],
                                      [p for _, _, p in series],
@@ -152,17 +165,18 @@ def _fig16(quick: bool = False) -> None:
               f"p99={st['p99_us']:8.2f}µs")
 
 
-def _fig17(quick: bool = False) -> None:
+def _fig17(quick: bool = False, jobs: int = 1) -> None:
     from .experiments.applications import overhead_comparison
     duration = 8_000.0 if quick else 15_000.0
     print("Figure 17: host-only RKV CPU with vs without iPipe")
     for load, dpdk, ipipe in overhead_comparison(
-            load_fractions=(0.5, 1.0), duration_us=duration):
+            load_fractions=(0.5, 1.0), duration_us=duration,
+            executor=_executor(jobs)):
         print(f"  load={load:.2f}: w/o iPipe {dpdk:.2f} cores, "
               f"w/ iPipe {ipipe:.2f} cores")
 
 
-def _fig18(quick: bool = False) -> None:
+def _fig18(quick: bool = False, jobs: int = 1) -> None:
     from .experiments.migration_study import breakdown_rows, run_migration_breakdown
     print("Figure 18: migration breakdown")
     for row in breakdown_rows(run_migration_breakdown(warmup_us=2_000.0)):
@@ -171,7 +185,7 @@ def _fig18(quick: bool = False) -> None:
               f"p4={row.phase4_us:8.0f}µs  total={row.total_ms:.2f}ms")
 
 
-def _sec56(quick: bool = False) -> None:
+def _sec56(quick: bool = False, jobs: int = 1) -> None:
     from .experiments.netfns import floem_vs_ipipe
     duration = 8_000.0 if quick else 12_000.0
     for size in (1024, 64):
@@ -181,7 +195,7 @@ def _sec56(quick: bool = False) -> None:
               f"iPipe {ipipe.gbps_per_core:.2f} Gbps/core")
 
 
-def _sec57(quick: bool = False) -> None:
+def _sec57(quick: bool = False, jobs: int = 1) -> None:
     from .experiments.netfns import firewall_latency_vs_load, ipsec_goodput_gbps
     from .nic import LIQUIDIO_CN2360
     duration = 8_000.0 if quick else 15_000.0
@@ -234,10 +248,92 @@ def _cmd_top(argv) -> int:
     return 0
 
 
+def _cmd_sweep(argv) -> int:
+    """``repro sweep``: run one experiment grid through the executor."""
+    from .exec import DEFAULT_CACHE_DIR, ParallelSweep, ResultCache, grids
+    parser = argparse.ArgumentParser(
+        prog="python -m repro sweep",
+        description="Run an experiment grid through the parallel sweep "
+                    "executor, caching point results on disk so re-runs "
+                    "only recompute dirty points.")
+    parser.add_argument("grid", choices=sorted(grids.GRIDS),
+                        help="which figure/study grid to run")
+    parser.add_argument("--quick", action="store_true",
+                        help="shorter simulations for a fast look")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes (0 = one per CPU; default 1)")
+    parser.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                        metavar="DIR", help="result cache directory "
+                        f"(default: {DEFAULT_CACHE_DIR})")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="recompute every point; do not touch the cache")
+    args = parser.parse_args(argv)
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    report = ParallelSweep(jobs=args.jobs, cache=cache).run(
+        grids.GRIDS[args.grid](quick=args.quick))
+    for key, value in report.results.items():
+        text = repr(value)
+        if len(text) > 110:
+            text = text[:107] + "..."
+        print(f"  {key}: {text}")
+    print(report.summary())
+    return 0
+
+
+def _cmd_bench(argv) -> int:
+    """``repro bench``: kernel + sweep benchmarks -> BENCH_sweep.json."""
+    import json
+    from .exec.bench import (REGRESSION_THRESHOLD, check_regression,
+                             run_bench, write_bench)
+    parser = argparse.ArgumentParser(
+        prog="python -m repro bench",
+        description="DES-kernel and sweep-executor benchmarks; writes the "
+                    "BENCH_sweep.json perf baseline and optionally gates "
+                    "against a committed one.")
+    parser.add_argument("--out", default="BENCH_sweep.json", metavar="PATH")
+    parser.add_argument("--pool", type=int, default=4, metavar="N",
+                        help="pool size for the sweep benchmark (default 4)")
+    parser.add_argument("--full", action="store_true",
+                        help="full-size sweep grid instead of the quick one")
+    parser.add_argument("--figures", action="store_true",
+                        help="also time per-figure grid wall-clock")
+    parser.add_argument("--check", metavar="BASELINE", default=None,
+                        help="compare *_eps metrics against a baseline "
+                             f"JSON; exit 1 on a >{REGRESSION_THRESHOLD:.0%} "
+                             "regression")
+    args = parser.parse_args(argv)
+    bench = run_bench(pool=args.pool, quick=not args.full,
+                      figures=args.figures)
+    write_bench(bench, args.out)
+    kern, sw = bench["kernel"], bench["sweep"]
+    print(f"wrote {args.out}")
+    print(f"  kernel: post chain {kern['post_chain_eps']:,.0f} ev/s "
+          f"(seed kernel {kern['seed_chain_eps']:,.0f}; "
+          f"{kern['speedup_post_vs_seed']:.2f}x), cancel-heavy "
+          f"{kern['speedup_cancel_vs_seed']:.2f}x, peak heap "
+          f"{kern['cancel_heavy_peak_heap']:.0f} vs seed "
+          f"{kern['cancel_heavy_seed_peak_heap']:.0f}")
+    print(f"  sweep ({sw['points']} pts): pool x{sw['pool']} "
+          f"{sw['pool_speedup']:.2f}x, warm cache {sw['cached_speedup']:.2f}x "
+          f"(hit rate {sw['cache_hit_rate']:.0%}), "
+          f"identical={sw['identical']}")
+    if args.check:
+        with open(args.check) as fh:
+            baseline = json.load(fh)
+        failures = check_regression(bench, baseline)
+        if failures:
+            print("PERF REGRESSION vs " + args.check + ":")
+            for failure in failures:
+                print(f"  {failure}")
+            return 1
+        print(f"  no regression vs {args.check}")
+    return 0
+
+
 EXPERIMENTS: Dict[str, Callable[..., None]] = {
-    "table1": lambda quick=False: _table1(),
-    "table2": lambda quick=False: _table2(),
-    "table3": lambda quick=False: _table3(),
+    "table1": lambda quick=False, jobs=1: _table1(),
+    "table2": lambda quick=False, jobs=1: _table2(),
+    "table3": lambda quick=False, jobs=1: _table3(),
     "fig2": _fig2,
     "fig3": _fig3,
     "fig4": _fig4,
@@ -261,6 +357,10 @@ def main(argv=None) -> int:
         return _cmd_trace(argv[1:])
     if argv and argv[0] == "top":
         return _cmd_top(argv[1:])
+    if argv and argv[0] == "sweep":
+        return _cmd_sweep(argv[1:])
+    if argv and argv[0] == "bench":
+        return _cmd_bench(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate tables/figures from the iPipe paper.")
@@ -268,6 +368,9 @@ def main(argv=None) -> int:
                         help="experiment ids (see 'list'), or 'all'")
     parser.add_argument("--quick", action="store_true",
                         help="shorter simulations for a fast look")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="fan experiment grids out to N worker "
+                             "processes (results identical to serial)")
     args = parser.parse_args(argv)
 
     if args.experiments == ["list"]:
@@ -281,7 +384,7 @@ def main(argv=None) -> int:
         if fn is None:
             print(f"unknown experiment {name!r}; try 'list'", file=sys.stderr)
             return 2
-        fn(quick=args.quick)
+        fn(quick=args.quick, jobs=args.jobs)
         print()
     return 0
 

@@ -119,7 +119,7 @@ class Ring:
             # remembered for the crossing span recorded at poll time
             msg.meta["ring_t0"] = self.sim.now
         # anchor virtual time so run-to-idle passes the visibility point
-        self.sim.call_at(visible_at, _noop)
+        self.sim.post_at(visible_at, _noop)
 
     @property
     def full(self) -> bool:
@@ -139,7 +139,7 @@ class Ring:
         until the stall expires."""
         self.stalled_until = max(self.stalled_until, self.sim.now + duration_us)
         # anchor virtual time so run-to-idle passes the stall expiry
-        self.sim.call_at(self.stalled_until, _noop)
+        self.sim.post_at(self.stalled_until, _noop)
 
     def poll(self) -> Optional[Message]:
         """Non-blocking consume; returns None when the ring is empty,
@@ -300,7 +300,7 @@ class ReliableChannel:
         msg.meta.setdefault("rel_first_fail", self.sim.now)
         delay = self._backoff_us(msg)
         msg.meta["rel_attempts"] = msg.meta.get("rel_attempts", 0) + 1
-        self.sim.call_in(delay, self._produce, direction, msg)
+        self.sim.post(delay, self._produce, direction, msg)
 
     def _produce(self, direction: str, msg: Message) -> None:
         state = self._dirs[direction]
@@ -316,7 +316,7 @@ class ReliableChannel:
         if msg.meta.get("rel_attempts"):
             notify = self.on_deliverable.get(direction)
             if notify is not None:
-                self.sim.call_in(state.ring.transfer_delay_us(msg), notify)
+                self.sim.post(state.ring.transfer_delay_us(msg), notify)
 
     def _nacked(self, direction: str, msg: Message) -> None:
         self.retransmits += 1

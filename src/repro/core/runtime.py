@@ -354,7 +354,7 @@ class IPipeRuntime:
             return
         self._crashed[name] = self.sim.now
         delay = policy.restart_delay_us * (policy.backoff_factor ** attempts)
-        self.sim.call_in(delay, self.restart_actor, name)
+        self.sim.post(delay, self.restart_actor, name)
 
     def restart_actor(self, name: str) -> bool:
         """Re-deploy a crashed/killed actor with DMO-recovered state.
@@ -528,7 +528,7 @@ class IPipeRuntime:
                 self._host_send_backoff(msg, 1.0)
                 return
             delay = self.channel.to_nic.transfer_delay_us(msg)
-            self.sim.call_in(delay, self._nic_channel_arrival)
+            self.sim.post(delay, self._nic_channel_arrival)
         else:
             self.enqueue_nic_message(msg)
 
@@ -540,11 +540,11 @@ class IPipeRuntime:
         try:
             self.channel.host_send(msg)
         except RingFullError:
-            self.sim.call_in(backoff_us, self._host_send_backoff, msg,
+            self.sim.post(backoff_us, self._host_send_backoff, msg,
                              min(backoff_us * 2, 64.0))
             return
         delay = self.channel.to_nic.transfer_delay_us(msg)
-        self.sim.call_in(delay, self._nic_channel_arrival)
+        self.sim.post(delay, self._nic_channel_arrival)
 
     def _nic_channel_arrival(self, msg: Message = None) -> None:
         """Drain the host→NIC ring into the scheduler's shared queue."""
@@ -560,7 +560,7 @@ class IPipeRuntime:
             # head slot's DMA still in flight (slots are visible strictly
             # in ring order), or a retransmit is pending: retry shortly
             self._nic_poll_pending = True
-            self.sim.call_in(1.0, self._nic_poll_retry)
+            self.sim.post(1.0, self._nic_poll_retry)
 
     def _nic_poll_retry(self) -> None:
         self._nic_poll_pending = False
@@ -581,7 +581,7 @@ class IPipeRuntime:
                               size=packet.size, created_at=self.sim.now)
             self._host_ring_writes += 1
             delay = self.channel.to_nic.transfer_delay_us(carrier)
-            self.sim.call_in(delay, self._host_tx_arrival, packet)
+            self.sim.post(delay, self._host_tx_arrival, packet)
 
     def _host_tx_arrival(self, packet: Packet) -> None:
         self.nic.traffic_manager.push(WorkItem(

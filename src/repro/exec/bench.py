@@ -1,0 +1,332 @@
+"""Perf trajectory: kernel microbenchmarks + sweep executor benchmark.
+
+``python -m repro bench`` runs this module and emits ``BENCH_sweep.json``
+— the committed perf baseline format CI regresses against:
+
+* **kernel** — events/sec of the DES kernel on three workload shapes
+  (timer chain via ``call_in``, handle-free ``post`` chain, and a
+  generator-process Timeout loop), for the current kernel with and
+  without handle pooling, and for a reference copy of the *seed* kernel
+  (pre-fast-path ``heapq`` loop with per-event allocation) kept here so
+  the speedup is measured, not remembered;
+* **sweep** — wall-clock of a Figure-16-style grid through
+  :class:`~repro.exec.sweep.ParallelSweep` serially, with a process
+  pool, and from a warm result cache, asserting along the way that all
+  three produce bit-identical results (per-point pickle fingerprints,
+  see :func:`~repro.exec.sweep.result_fingerprint`).
+
+Regression policy: ``check_regression`` fails when any events/sec metric
+drops more than 30% below the committed baseline.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+import os
+import platform
+import sys
+import tempfile
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..sim import Simulator, Timeout, spawn
+from .cache import ResultCache, code_fingerprint
+from .grids import fig16_grid
+from .sweep import ParallelSweep, result_fingerprint
+
+#: Events per microbenchmark run.
+_CHAIN_EVENTS = 150_000
+_PROCESS_EVENTS = 60_000
+_CANCEL_EVENTS = 40_000
+_REPEATS = 5
+
+REGRESSION_THRESHOLD = 0.30
+
+
+# -- reference copy of the seed kernel ----------------------------------------
+class SeedSimulator:
+    """The seed's DES loop, verbatim in behaviour: a ``heapq`` of
+    ``(when, seq, handle)`` with per-event handle allocation, lazy cancel
+    with no compaction, and an O(n) ``pending()`` scan.  Kept only as
+    the measured baseline for the kernel fast path."""
+
+    class Handle:
+        __slots__ = ("when", "_fn", "_args", "cancelled", "fired")
+
+        def __init__(self, when, fn, args):
+            self.when = when
+            self._fn = fn
+            self._args = args
+            self.cancelled = False
+            self.fired = False
+
+        def cancel(self):
+            self.cancelled = True
+
+        def fire(self):
+            if not self.cancelled:
+                self.fired = True
+                self._fn(*self._args)
+
+    def __init__(self):
+        self._now = 0.0
+        self._heap: List = []
+        self._seq = 0
+
+    @property
+    def now(self):
+        return self._now
+
+    def call_at(self, when, fn, *args):
+        handle = SeedSimulator.Handle(when, fn, args)
+        self._seq += 1
+        heapq.heappush(self._heap, (when, self._seq, handle))
+        return handle
+
+    def call_in(self, delay, fn, *args):
+        return self.call_at(self._now + delay, fn, *args)
+
+    def pending(self):
+        return sum(1 for _, _, h in self._heap if not h.cancelled)
+
+    def run(self, until=None):
+        while self._heap:
+            when, _seq, handle = self._heap[0]
+            if until is not None and when > until:
+                self._now = until
+                return self._now
+            heapq.heappop(self._heap)
+            if handle.cancelled:
+                continue
+            self._now = when
+            handle.fire()
+        if until is not None and until > self._now:
+            self._now = until
+        return self._now
+
+
+# -- kernel microbenchmarks ----------------------------------------------------
+
+def _best_of(fn: Callable[[], float], repeats: int = _REPEATS) -> float:
+    return max(fn() for _ in range(repeats))
+
+
+def _chain_eps(make_sim: Callable[[], Any], schedule: str = "call_in",
+               events: int = _CHAIN_EVENTS) -> float:
+    """Self-rescheduling timer chain; events/sec."""
+    def once() -> float:
+        sim = make_sim()
+        post = getattr(sim, schedule)
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < events:
+                post(1.0, tick)
+
+        post(1.0, tick)
+        t0 = time.perf_counter()
+        sim.run()
+        return events / (time.perf_counter() - t0)
+
+    return _best_of(once)
+
+
+def _process_eps(events: int = _PROCESS_EVENTS) -> float:
+    """Generator-process Timeout loop (the experiment hot path)."""
+    def once() -> float:
+        sim = Simulator()
+
+        def proc():
+            for _ in range(events):
+                yield Timeout(1.0)
+
+        spawn(sim, proc())
+        t0 = time.perf_counter()
+        sim.run()
+        return events / (time.perf_counter() - t0)
+
+    return _best_of(once)
+
+
+def _cancel_heavy_eps(make_sim: Callable[[], Any],
+                      events: int = _CANCEL_EVENTS) -> Tuple[float, int]:
+    """Watchdog pattern: every event arms a far-future timer and cancels
+    it.  Returns (events/sec, peak heap length) — the seed kernel keeps
+    every tombstone; the compacting kernel bounds the heap."""
+    def once() -> Tuple[float, int]:
+        sim = make_sim()
+        count = [0]
+        peak = [0]
+
+        def work():
+            count[0] += 1
+            watchdog = sim.call_in(1e9, _noop)
+            watchdog.cancel()
+            heap_len = len(sim._heap)
+            if heap_len > peak[0]:
+                peak[0] = heap_len
+            if count[0] < events:
+                sim.call_in(1.0, work)
+
+        sim.call_in(1.0, work)
+        t0 = time.perf_counter()
+        sim.run()
+        return 2 * events / (time.perf_counter() - t0), peak[0]
+
+    best = (0.0, 0)
+    for _ in range(_REPEATS):
+        eps, peak = once()
+        if eps > best[0]:
+            best = (eps, peak)
+    return best
+
+
+def _noop():
+    pass
+
+
+def kernel_bench() -> Dict[str, float]:
+    seed_chain = _chain_eps(SeedSimulator)
+    chain_pooled = _chain_eps(lambda: Simulator(pooling=True))
+    chain_unpooled = _chain_eps(lambda: Simulator(pooling=False))
+    post_chain = _chain_eps(Simulator, schedule="post")
+    seed_cancel, seed_peak = _cancel_heavy_eps(SeedSimulator)
+    cancel, peak = _cancel_heavy_eps(Simulator)
+    return {
+        "seed_chain_eps": seed_chain,
+        "chain_pooled_eps": chain_pooled,
+        "chain_unpooled_eps": chain_unpooled,
+        "post_chain_eps": post_chain,
+        "process_timeout_eps": _process_eps(),
+        "cancel_heavy_eps": cancel,
+        "cancel_heavy_seed_eps": seed_cancel,
+        "cancel_heavy_peak_heap": float(peak),
+        "cancel_heavy_seed_peak_heap": float(seed_peak),
+        "speedup_post_vs_seed": post_chain / seed_chain,
+        "speedup_cancel_vs_seed": cancel / seed_cancel,
+    }
+
+
+# -- sweep benchmark -----------------------------------------------------------
+
+def _bench_grid(quick: bool):
+    """A Figure-16-style grid: policies x loads at one dispersion."""
+    loads = (0.5, 0.9) if quick else (0.3, 0.5, 0.7, 0.9)
+    duration = 12_000.0 if quick else 30_000.0
+    return fig16_grid(dispersions=("high",), loads=loads,
+                      duration_us=duration)
+
+
+def sweep_bench(pool: int = 4, quick: bool = True,
+                cache_dir: Optional[str] = None) -> Dict[str, Any]:
+    """Serial vs pool-N vs warm-cache wall clock on one grid.
+
+    Asserts that all three paths produce bit-identical (pickle-equal)
+    results; raises RuntimeError otherwise.
+    """
+    points = _bench_grid(quick)
+
+    t0 = time.perf_counter()
+    serial = ParallelSweep(jobs=1).run(points)
+    serial_s = time.perf_counter() - t0
+
+    with tempfile.TemporaryDirectory() as tmp:
+        root = cache_dir or os.path.join(tmp, "cache")
+        cache_cold = ResultCache(root)
+        t0 = time.perf_counter()
+        pooled = ParallelSweep(jobs=pool, cache=cache_cold).run(points)
+        pool_s = time.perf_counter() - t0
+
+        cache_warm = ResultCache(root)
+        t0 = time.perf_counter()
+        cached = ParallelSweep(jobs=pool, cache=cache_warm).run(points)
+        cached_s = time.perf_counter() - t0
+
+        serial_fp = result_fingerprint(serial.results)
+        if (result_fingerprint(pooled.results) != serial_fp
+                or list(pooled.results) != list(serial.results)):
+            raise RuntimeError("pool-N sweep diverged from the serial run")
+        if (result_fingerprint(cached.results) != serial_fp
+                or list(cached.results) != list(serial.results)):
+            raise RuntimeError("cached replay diverged from the serial run")
+
+    return {
+        "grid": "fig16-high-dispersion",
+        "points": serial.points,
+        "pool": pool,
+        "serial_s": serial_s,
+        "pool_s": pool_s,
+        "cached_s": cached_s,
+        "pool_speedup": serial_s / pool_s if pool_s > 0 else 0.0,
+        "cached_speedup": serial_s / cached_s if cached_s > 0 else 0.0,
+        "cache_hit_rate": cached.hit_rate,
+        "identical": True,
+    }
+
+
+# -- figure wall-clock ---------------------------------------------------------
+
+def figure_wallclock(quick: bool = True, jobs: int = 1) -> Dict[str, float]:
+    """Wall-clock seconds per figure grid through the executor."""
+    from .grids import GRIDS
+    out: Dict[str, float] = {}
+    for name in ("fig5", "fig16"):
+        points = GRIDS[name](quick=quick)
+        t0 = time.perf_counter()
+        ParallelSweep(jobs=jobs).run(points)
+        out[name] = time.perf_counter() - t0
+    return out
+
+
+# -- assembly / regression gate ------------------------------------------------
+
+def run_bench(pool: int = 4, quick: bool = True,
+              figures: bool = False) -> Dict[str, Any]:
+    bench: Dict[str, Any] = {
+        "meta": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+            "code_fingerprint": code_fingerprint()[:16],
+            "quick": quick,
+        },
+        "kernel": kernel_bench(),
+        "sweep": sweep_bench(pool=pool, quick=quick),
+    }
+    if figures:
+        bench["figures_wall_s"] = figure_wallclock(quick=quick, jobs=pool)
+    return bench
+
+
+def write_bench(bench: Dict[str, Any], path: str) -> None:
+    with open(path, "w") as fh:
+        json.dump(bench, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def check_regression(bench: Dict[str, Any], baseline: Dict[str, Any],
+                     threshold: float = REGRESSION_THRESHOLD) -> List[str]:
+    """Compare events/sec metrics against a committed baseline.
+
+    Returns a list of failure strings (empty == pass).  Only ``*_eps``
+    metrics gate; wall-clock seconds vary too much across hosts.
+    """
+    failures = []
+    base_kernel = baseline.get("kernel", {})
+    new_kernel = bench.get("kernel", {})
+    for name, base_value in base_kernel.items():
+        if not name.endswith("_eps"):
+            continue
+        new_value = new_kernel.get(name)
+        if new_value is None:
+            failures.append(f"kernel.{name}: missing from new bench")
+            continue
+        floor = base_value * (1.0 - threshold)
+        if new_value < floor:
+            failures.append(
+                f"kernel.{name}: {new_value:,.0f} ev/s is "
+                f"{1 - new_value / base_value:.0%} below baseline "
+                f"{base_value:,.0f} (allowed {threshold:.0%})")
+    return failures

@@ -1,0 +1,189 @@
+"""Experiment grids: the paper's figures expressed as sweep points.
+
+Each builder turns one figure (or study) into a list of independent
+:class:`~repro.exec.sweep.SweepPoint` cells ready for
+:class:`~repro.exec.sweep.ParallelSweep`.  Experiment modules are
+imported lazily inside the builders so this module can be imported from
+anywhere (including pool workers unpickling point functions) without
+dragging the whole experiment surface in at import time.
+
+Point functions must return picklable values; runners whose natural
+return value holds live simulator state (the chaos studies' ChaosReport
+carries a TracePlane) get a thin module-level wrapper here that reduces
+the result to plain data — which is also exactly what the determinism
+fingerprint tests compare.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .sweep import SweepPoint
+
+#: Figure 13 per-size client counts (64B traffic needs more clients to
+#: reach max throughput, mirroring cli._fig13).
+_FIG13_CLIENTS = {64: 192, 256: 96, 512: 96, 1024: 96}
+
+
+# -- picklable point wrappers -------------------------------------------------
+
+def chaos_point(workload: str, **kwargs) -> Dict:
+    """Run one chaos scenario; reduce the report to plain data.
+
+    The returned dict includes the deterministic-replay
+    ``telemetry_fingerprint`` (fault schedule + recovery telemetry), the
+    field the sweep determinism tests compare byte-for-byte.
+    """
+    from ..experiments.chaos_study import RUNNERS
+    report = RUNNERS[workload](**kwargs)
+    return {
+        "workload": workload,
+        "seed": report.seed,
+        "requests": report.requests,
+        "answered": report.answered,
+        "lost": report.lost,
+        "client_retransmits": report.client_retransmits,
+        "duplicate_replies": report.duplicate_replies,
+        "duration_us": report.duration_us,
+        "faults_injected": dict(report.faults_injected),
+        "invariants": dict(report.invariants),
+        "ok": report.ok,
+        "stage_latencies": dict(report.stage_latencies),
+        "fingerprint": report.telemetry_fingerprint(),
+    }
+
+
+def fig18_point(**kwargs) -> List:
+    """Figure 18 migration breakdown as picklable rows."""
+    from ..experiments.migration_study import (breakdown_rows,
+                                               run_migration_breakdown)
+    return breakdown_rows(run_migration_breakdown(**kwargs))
+
+
+# -- grid builders ------------------------------------------------------------
+
+def fig5_grid(quick: bool = False,
+              sizes: Sequence[int] = (64, 512, 1024, 1500),
+              cores: Sequence[int] = (6, 12),
+              duration_us: Optional[float] = None) -> List[SweepPoint]:
+    from ..experiments.characterization import traffic_manager_experiment
+    if duration_us is None:
+        duration_us = 8_000.0 if quick else 25_000.0
+    return [
+        SweepPoint(("fig5", size, n), traffic_manager_experiment,
+                   dict(frame_bytes=size, cores=n, duration_us=duration_us))
+        for size in sizes for n in cores
+    ]
+
+
+def fig13_grid(quick: bool = False,
+               sizes: Optional[Sequence[int]] = None,
+               duration_us: Optional[float] = None) -> List[SweepPoint]:
+    from ..experiments.applications import run_app
+    if duration_us is None:
+        duration_us = 8_000.0 if quick else 15_000.0
+    if sizes is None:
+        sizes = (512,) if quick else (64, 256, 512, 1024)
+    return [
+        SweepPoint(("fig13", system, app, size), run_app,
+                   dict(system=system, app=app, packet_size=size,
+                        clients=_FIG13_CLIENTS[size], duration_us=duration_us))
+        for size in sizes
+        for system in ("dpdk", "ipipe")
+        for app in ("rta", "dt", "rkv")
+    ]
+
+
+def fig14_grid(quick: bool = False,
+               client_counts: Optional[Sequence[int]] = None,
+               duration_us: Optional[float] = None) -> List[SweepPoint]:
+    from ..experiments.applications import run_app
+    if duration_us is None:
+        duration_us = 8_000.0 if quick else 12_000.0
+    if client_counts is None:
+        client_counts = (2, 16) if quick else (2, 8, 24, 64)
+    return [
+        SweepPoint(("fig14", system, app, clients), run_app,
+                   dict(system=system, app=app, packet_size=512,
+                        clients=clients, duration_us=duration_us))
+        for system in ("dpdk", "ipipe")
+        for app in ("rta", "dt", "rkv")
+        for clients in client_counts
+    ]
+
+
+def fig16_grid(quick: bool = False,
+               dispersions: Sequence[str] = ("low", "high"),
+               loads: Optional[Sequence[float]] = None,
+               policies: Optional[Sequence[str]] = None,
+               duration_us: Optional[float] = None,
+               seed: int = 1) -> List[SweepPoint]:
+    from ..experiments.scheduler_study import POLICIES, run_point
+    from ..nic import LIQUIDIO_CN2350
+    if duration_us is None:
+        duration_us = 30_000.0 if quick else 100_000.0
+    if loads is None:
+        loads = (0.5, 0.9) if quick else (0.3, 0.5, 0.7, 0.9)
+    if policies is None:
+        policies = POLICIES
+    return [
+        SweepPoint(("fig16", dispersion, policy, load), run_point,
+                   dict(spec=LIQUIDIO_CN2350, policy=policy,
+                        dispersion=dispersion, load=load,
+                        duration_us=duration_us, seed=seed))
+        for dispersion in dispersions
+        for policy in policies
+        for load in loads
+    ]
+
+
+def fig17_grid(quick: bool = False,
+               load_fractions: Sequence[float] = (0.5, 1.0),
+               duration_us: Optional[float] = None,
+               base_clients: int = 16) -> List[SweepPoint]:
+    from ..experiments.applications import run_app
+    if duration_us is None:
+        duration_us = 8_000.0 if quick else 15_000.0
+    return [
+        SweepPoint(("fig17", system, frac), run_app,
+                   dict(system=system, app="rkv", packet_size=512,
+                        clients=max(1, int(base_clients * frac)),
+                        duration_us=duration_us))
+        for frac in load_fractions
+        for system in ("dpdk", "ipipe-hostonly")
+    ]
+
+
+def fig18_grid(quick: bool = False) -> List[SweepPoint]:
+    warmup = 2_000.0 if quick else 5_000.0
+    return [SweepPoint(("fig18",), fig18_point, dict(warmup_us=warmup))]
+
+
+def chaos_grid(quick: bool = False,
+               workloads: Sequence[str] = ("rkv", "dt", "rta"),
+               seeds: Sequence[int] = (42,),
+               trace: bool = False,
+               duration_us: Optional[float] = None) -> List[SweepPoint]:
+    points = []
+    for workload in workloads:
+        for seed in seeds:
+            kwargs: Dict = {"seed": seed, "trace": trace}
+            if duration_us is not None:
+                kwargs["duration_us"] = duration_us
+            elif quick:
+                kwargs["duration_us"] = 25_000.0
+            points.append(SweepPoint(("chaos", workload, seed),
+                                     chaos_point,
+                                     dict(workload=workload, **kwargs)))
+    return points
+
+
+GRIDS = {
+    "fig5": fig5_grid,
+    "fig13": fig13_grid,
+    "fig14": fig14_grid,
+    "fig16": fig16_grid,
+    "fig17": fig17_grid,
+    "fig18": fig18_grid,
+    "chaos": chaos_grid,
+}

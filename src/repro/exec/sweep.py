@@ -1,0 +1,180 @@
+"""Parallel sweep executor with deterministic merge and result caching.
+
+Every paper figure is a grid of independent simulation points (load
+levels, NIC specs, chaos seeds).  :class:`ParallelSweep` fans such a
+grid out to a process pool and merges the results *deterministically by
+point key* — each point runs its own :class:`~repro.sim.Simulator` from
+its own seeds, so a worker process computes bit-identical results to a
+serial run, and the merge order is the sorted key order regardless of
+completion order.  The optional :class:`~repro.exec.cache.ResultCache`
+makes re-running figure scripts recompute only dirty points.
+
+Point functions must be module-level (picklable by reference) and return
+picklable values.  The pool uses the ``fork`` start method where
+available so workers inherit the parent's interpreter state — including
+``PYTHONHASHSEED`` — which keeps any hash-order-dependent iteration
+identical across parent and children.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import pickle
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Tuple
+
+from .cache import ResultCache
+
+
+def result_fingerprint(results: Mapping[Tuple, Any]) -> str:
+    """Canonical digest of a merged result mapping: SHA-256 over each
+    (key, value) pickled *independently*, in mapping order.
+
+    Two result sets are bit-identical iff their fingerprints match.
+    Pickling the whole dict in one go would additionally encode CPython
+    string-interning accidents — the pickler memoises by object identity,
+    so an interned string shared between a key tuple and a value (or
+    between two values) becomes a back-reference in an all-in-process run
+    but not after a pool or cache round trip, changing the bytes without
+    changing any content.  Per-point pickles are immune to that.
+    """
+    digest = hashlib.sha256()
+    for key, value in results.items():
+        digest.update(pickle.dumps(key))
+        digest.update(b"\0")
+        digest.update(pickle.dumps(value))
+        digest.update(b"\0")
+    return digest.hexdigest()
+
+
+class SweepPoint:
+    """One cell of an experiment grid: a key, a function, its kwargs."""
+
+    __slots__ = ("key", "fn", "kwargs")
+
+    def __init__(self, key: Tuple, fn: Callable, kwargs: Mapping[str, Any]):
+        self.key = key
+        self.fn = fn
+        self.kwargs = dict(kwargs)
+
+    def __repr__(self) -> str:
+        return f"SweepPoint({self.key!r}, {self.fn.__qualname__})"
+
+
+def _execute(payload: Tuple[Callable, Dict[str, Any]]) -> Any:
+    fn, kwargs = payload
+    return fn(**kwargs)
+
+
+@dataclass
+class SweepReport:
+    """Outcome of one executor run."""
+
+    results: Dict[Tuple, Any]          # ordered by sorted point key
+    jobs: int
+    executed: int                      # points actually computed
+    cache_hits: int
+    wall_s: float
+    cache_dir: Optional[str] = None
+    keys_executed: List[Tuple] = field(default_factory=list)
+
+    @property
+    def points(self) -> int:
+        return len(self.results)
+
+    @property
+    def hit_rate(self) -> float:
+        return self.cache_hits / self.points if self.points else 0.0
+
+    def summary(self) -> str:
+        return (f"{self.points} points in {self.wall_s:.2f}s wall "
+                f"(jobs={self.jobs}, computed={self.executed}, "
+                f"cache hits={self.cache_hits}, "
+                f"hit rate={self.hit_rate:.0%})")
+
+
+def _sort_key(point: SweepPoint):
+    # Mixed-type keys (rare) fall back to repr ordering, still total.
+    return tuple((type(part).__name__, repr(part)) for part in point.key)
+
+
+class ParallelSweep:
+    """Fan a grid of :class:`SweepPoint` out to a process pool.
+
+    ``jobs=1`` executes inline (no pool, no pickling) — the serial
+    reference path the determinism tests compare against.  ``jobs=0``
+    means one worker per CPU.
+    """
+
+    def __init__(self, jobs: int = 1, cache: Optional[ResultCache] = None,
+                 mp_start: str = "fork"):
+        if jobs == 0:
+            jobs = multiprocessing.cpu_count()
+        self.jobs = max(1, jobs)
+        self.cache = cache
+        if mp_start not in multiprocessing.get_all_start_methods():
+            mp_start = "spawn"
+        self.mp_start = mp_start
+
+    def run(self, points: Iterable[SweepPoint]) -> SweepReport:
+        t0 = time.perf_counter()
+        ordered = sorted(points, key=_sort_key)
+        keys = [p.key for p in ordered]
+        if len(set(keys)) != len(keys):
+            seen: set = set()
+            dup = next(k for k in keys if k in seen or seen.add(k))
+            raise ValueError(f"duplicate sweep point key: {dup!r}")
+
+        results: Dict[Tuple, Any] = {}
+        todo: List[SweepPoint] = []
+        todo_cache_keys: Dict[Tuple, str] = {}
+        cache = self.cache
+        if cache is not None:
+            for point in ordered:
+                ckey = cache.key_for(point.fn, point.kwargs)
+                hit, value = cache.get(ckey)
+                if hit:
+                    results[point.key] = value
+                else:
+                    todo.append(point)
+                    todo_cache_keys[point.key] = ckey
+        else:
+            todo = list(ordered)
+
+        cache_hits = len(ordered) - len(todo)
+        computed: Dict[Tuple, Any] = {}
+        if todo:
+            if self.jobs <= 1 or len(todo) == 1:
+                for point in todo:
+                    computed[point.key] = point.fn(**point.kwargs)
+            else:
+                ctx = multiprocessing.get_context(self.mp_start)
+                payloads = [(p.fn, p.kwargs) for p in todo]
+                workers = min(self.jobs, len(todo))
+                with ctx.Pool(processes=workers) as pool:
+                    values = pool.map(_execute, payloads, chunksize=1)
+                for point, value in zip(todo, values):
+                    computed[point.key] = value
+            if cache is not None:
+                for point in todo:
+                    cache.put(todo_cache_keys[point.key], computed[point.key])
+        results.update(computed)
+
+        # deterministic merge: sorted key order, independent of worker
+        # completion order and of the caller's point order
+        merged = {p.key: results[p.key] for p in ordered}
+        return SweepReport(
+            results=merged, jobs=self.jobs,
+            executed=len(todo), cache_hits=cache_hits,
+            wall_s=time.perf_counter() - t0,
+            cache_dir=str(cache.root) if cache is not None else None,
+            keys_executed=[p.key for p in todo],
+        )
+
+
+def run_grid(points: Iterable[SweepPoint], jobs: int = 1,
+             cache: Optional[ResultCache] = None) -> SweepReport:
+    """One-shot convenience wrapper around :class:`ParallelSweep`."""
+    return ParallelSweep(jobs=jobs, cache=cache).run(points)

@@ -208,10 +208,22 @@ def figure13_cell(system: str, role: str, nic_spec: NicSpec,
 def figure13_sweep(nic_spec: NicSpec = LIQUIDIO_CN2360,
                    sizes: Sequence[int] = PACKET_SIZES,
                    roles: Sequence[str] = tuple(ROLES),
+                   executor=None,
                    **kwargs) -> Dict[str, Dict[Tuple[str, int], float]]:
     """system → {(role, size): host cores}."""
     out: Dict[str, Dict[Tuple[str, int], float]] = {"dpdk": {}, "ipipe": {}}
     cache: Dict[Tuple[str, str, int], AppRunResult] = {}
+    apps = {ROLES[role][0] for role in roles}
+    if executor is not None:
+        from ..exec.sweep import SweepPoint
+        points = [
+            SweepPoint((system, app, size), run_app,
+                       dict(system=system, app=app, nic_spec=nic_spec,
+                            packet_size=size, **kwargs))
+            for system in ("dpdk", "ipipe") for app in sorted(apps)
+            for size in sizes
+        ]
+        cache = dict(executor.run(points).results)
     for system in ("dpdk", "ipipe"):
         for role in roles:
             app, server_idx = ROLES[role]
@@ -230,9 +242,23 @@ def latency_throughput_curve(system: str, app: str,
                              nic_spec: NicSpec = LIQUIDIO_CN2350,
                              packet_size: int = 512,
                              client_counts: Sequence[int] = (1, 2, 4, 8, 16, 32, 64),
+                             executor=None,
                              **kwargs) -> List[Tuple[float, float]]:
     """[(per-core Mops, mean latency µs)] for the measured role's server."""
     measured_server = "s0"   # RTA worker / DT coordinator / RKV leader
+    if executor is not None:
+        from ..exec.sweep import SweepPoint
+        points = [
+            SweepPoint((system, app, clients), run_app,
+                       dict(system=system, app=app, nic_spec=nic_spec,
+                            packet_size=packet_size, clients=clients,
+                            **kwargs))
+            for clients in client_counts
+        ]
+        merged = executor.run(points).results
+        return [(merged[(system, app, clients)].per_core_tput(measured_server),
+                 merged[(system, app, clients)].mean_latency_us)
+                for clients in client_counts]
     curve = []
     for clients in client_counts:
         result = run_app(system, app, nic_spec=nic_spec,
@@ -247,7 +273,8 @@ def latency_throughput_curve(system: str, app: str,
 def overhead_comparison(load_fractions: Sequence[float] = (0.15, 0.25, 0.35),
                         packet_size: int = 512,
                         duration_us: float = 20_000.0,
-                        base_clients: int = 16) -> List[Tuple[float, float, float]]:
+                        base_clients: int = 16,
+                        executor=None) -> List[Tuple[float, float, float]]:
     """[(load, dpdk host µs/op, ipipe-host-only host µs/op)].
 
     Both deployments are host-only RKV (iPipe with every actor pinned to
@@ -255,6 +282,26 @@ def overhead_comparison(load_fractions: Sequence[float] = (0.15, 0.25, 0.35),
     saturation, and the metric is host CPU per completed operation — the
     "same throughput" normalization §5.5 uses.
     """
+    if executor is not None:
+        from ..exec.sweep import SweepPoint
+        points = [
+            SweepPoint((system, frac), run_app,
+                       dict(system=system, app="rkv",
+                            packet_size=packet_size,
+                            clients=max(1, int(base_clients * frac)),
+                            duration_us=duration_us))
+            for frac in load_fractions
+            for system in ("dpdk", "ipipe-hostonly")
+        ]
+        merged = executor.run(points).results
+        return [
+            (frac,
+             merged[("dpdk", frac)].host_cores["s0"]
+             / max(merged[("dpdk", frac)].throughput_mops, 1e-9),
+             merged[("ipipe-hostonly", frac)].host_cores["s0"]
+             / max(merged[("ipipe-hostonly", frac)].throughput_mops, 1e-9))
+            for frac in load_fractions
+        ]
     rows = []
     for frac in load_fractions:
         clients = max(1, int(base_clients * frac))

@@ -481,6 +481,28 @@ RUNNERS = {
 }
 
 
+def chaos_sweep(workloads: Tuple[str, ...] = ("rkv", "dt", "rta"),
+                seeds: Tuple[int, ...] = (42,),
+                executor=None,
+                **kwargs) -> Dict[Tuple[str, int], Dict]:
+    """Chaos scenarios across seeds, optionally through a ParallelSweep.
+
+    Returns ``(workload, seed) → chaos_point dict`` (plain data with the
+    deterministic-replay fingerprint; see
+    :func:`repro.exec.grids.chaos_point`), merged in sorted key order.
+    """
+    from ..exec.grids import chaos_point
+    from ..exec.sweep import ParallelSweep, SweepPoint
+    points = [
+        SweepPoint((workload, seed), chaos_point,
+                   dict(workload=workload, seed=seed, **kwargs))
+        for workload in workloads for seed in seeds
+    ]
+    if executor is None:
+        executor = ParallelSweep(jobs=1)
+    return dict(executor.run(points).results)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--workload", choices=[*RUNNERS, "all"],

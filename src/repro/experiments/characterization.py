@@ -144,6 +144,30 @@ def traffic_manager_experiment(frame_bytes: int, cores: int,
                      avg_us=rec.mean, p99_us=rec.p99)
 
 
+def figure5_panel(sizes: Sequence[int] = (64, 512, 1024, 1500),
+                  cores: Sequence[int] = (6, 12),
+                  duration_us: float = 25_000.0,
+                  executor=None) -> Dict[Tuple[int, int], Fig5Point]:
+    """The full Figure-5 grid: (frame_bytes, cores) → :class:`Fig5Point`.
+
+    ``executor`` routes the grid through a
+    :class:`~repro.exec.sweep.ParallelSweep`; results are bit-identical
+    to the serial loop.
+    """
+    if executor is not None:
+        from ..exec.sweep import SweepPoint
+        points = [
+            SweepPoint((size, n), traffic_manager_experiment,
+                       dict(frame_bytes=size, cores=n,
+                            duration_us=duration_us))
+            for size in sizes for n in cores
+        ]
+        return dict(executor.run(points).results)
+    return {(size, n): traffic_manager_experiment(size, n,
+                                                  duration_us=duration_us)
+            for size in sizes for n in cores}
+
+
 # -- Figure 6: messaging latency -------------------------------------------------------
 
 def figure6_series() -> Dict[str, List[Tuple[int, float]]]:

@@ -204,9 +204,28 @@ def run_point(spec: NicSpec, policy: str, dispersion: str, load: float,
 def sweep(spec: NicSpec, dispersion: str,
           loads: Sequence[float] = (0.1, 0.3, 0.5, 0.7, 0.8, 0.9),
           duration_us: float = 60_000.0, seed: int = 1,
-          policies: Sequence[str] = POLICIES
-          ) -> Dict[str, List[Tuple[float, float, float]]]:
-    """Full Figure-16 panel: policy → [(load, mean, p99), ...]."""
+          policies: Sequence[str] = POLICIES,
+          executor=None) -> Dict[str, List[Tuple[float, float, float]]]:
+    """Full Figure-16 panel: policy → [(load, mean, p99), ...].
+
+    ``executor`` routes the grid through a
+    :class:`~repro.exec.sweep.ParallelSweep` (process pool and/or result
+    cache); the merged output is bit-identical to the serial loop.
+    """
+    if executor is not None:
+        from ..exec.sweep import SweepPoint
+        points = [
+            SweepPoint((dispersion, policy, load), run_point,
+                       dict(spec=spec, policy=policy, dispersion=dispersion,
+                            load=load, duration_us=duration_us, seed=seed))
+            for policy in policies for load in loads
+        ]
+        merged = executor.run(points).results
+        return {
+            policy: [(load, *merged[(dispersion, policy, load)])
+                     for load in loads]
+            for policy in policies
+        }
     results: Dict[str, List[Tuple[float, float, float]]] = {}
     for policy in policies:
         series = []

@@ -82,7 +82,7 @@ class Link:
             else:
                 self.frames_corrupted += 1
             return deliver_at
-        self.sim.call_at(deliver_at, self.receiver, packet)
+        self.sim.post_at(deliver_at, self.receiver, packet)
         return deliver_at
 
     @property

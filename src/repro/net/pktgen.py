@@ -23,13 +23,22 @@ SendFn = Callable[[Packet], None]
 
 
 class OpenLoopGenerator:
-    """Poisson (or deterministic) open-loop source of request packets."""
+    """Poisson (or deterministic) open-loop source of request packets.
+
+    The send path is the hottest loop in every sweep, so packet emission
+    runs on the kernel's handle-free fast path (:meth:`Simulator.post`)
+    rather than a generator process: each emission callback sends one
+    packet and arms the next, and interarrival gaps are drawn from the
+    RNG ``batch`` at a time to amortise the draw loop.  The RNG draw
+    *order* is identical to the seed's one-draw-per-packet generator, so
+    seeded runs reproduce the same packet schedule.
+    """
 
     def __init__(self, sim: Simulator, send: SendFn, src: str, dst: str,
                  rate_mpps: float, size: int,
                  payload_factory: Optional[PayloadFactory] = None,
                  rng: Optional[Rng] = None, poisson: bool = True,
-                 flow_count: int = 16):
+                 flow_count: int = 16, batch: int = 64):
         if rate_mpps <= 0:
             raise ValueError("rate must be positive")
         self.sim = sim
@@ -42,9 +51,11 @@ class OpenLoopGenerator:
         self.rng = rng or Rng(1)
         self.poisson = poisson
         self.flow_count = flow_count
+        self.batch = max(1, batch)
         self.sent = 0
         self._stop = False
-        self._process = spawn(sim, self._run(), name=f"pktgen-{src}")
+        self._gaps: list = []        # prefetched gaps, reversed for pop()
+        self._arm()
 
     def stop(self) -> None:
         self._stop = True
@@ -54,20 +65,34 @@ class OpenLoopGenerator:
             return self.rng.poisson_interarrival(self.rate_per_us)
         return 1.0 / self.rate_per_us
 
-    def _run(self):
-        while not self._stop:
-            yield Timeout(self._next_gap())
-            if self._stop:
-                break
-            payload = (self.payload_factory(self.sent)
-                       if self.payload_factory else None)
-            packet = Packet(
-                src=self.src, dst=self.dst, size=self.size,
-                flow_id=self.sent % self.flow_count,
-                payload=payload, created_at=self.sim.now,
-            )
-            self.send(packet)
-            self.sent += 1
+    def _refill(self) -> None:
+        if self.poisson:
+            draw = self.rng.poisson_interarrival
+            rate = self.rate_per_us
+            gaps = [draw(rate) for _ in range(self.batch)]
+        else:
+            gaps = [1.0 / self.rate_per_us] * self.batch
+        gaps.reverse()
+        self._gaps = gaps
+
+    def _arm(self) -> None:
+        if not self._gaps:
+            self._refill()
+        self.sim.post(self._gaps.pop(), self._emit)
+
+    def _emit(self) -> None:
+        if self._stop:
+            return
+        payload = (self.payload_factory(self.sent)
+                   if self.payload_factory else None)
+        packet = Packet(
+            src=self.src, dst=self.dst, size=self.size,
+            flow_id=self.sent % self.flow_count,
+            payload=payload, created_at=self.sim.now,
+        )
+        self.send(packet)
+        self.sent += 1
+        self._arm()
 
 
 class ClosedLoopGenerator:

@@ -40,7 +40,7 @@ class ToRSwitch:
             self.dropped += 1
             return
         self.forwarded += 1
-        self.sim.call_in(self.forwarding_latency_us, egress.transmit, packet)
+        self.sim.post(self.forwarding_latency_us, egress.transmit, packet)
 
 
 class Network:

@@ -97,10 +97,10 @@ class NicSwitch:
         target = self.rules.get(self.classify(packet), self.default)
         if target == "host":
             self.steered_host += 1
-            self.sim.call_in(self.switching_latency_us, self.to_host, packet)
+            self.sim.post(self.switching_latency_us, self.to_host, packet)
         else:
             self.steered_nic += 1
-            self.sim.call_in(self.switching_latency_us, self.to_nic, packet)
+            self.sim.post(self.switching_latency_us, self.to_nic, packet)
 
 
 def traffic_manager_for(sim: Simulator, spec: NicSpec) -> TrafficManager:

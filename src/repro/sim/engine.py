@@ -8,17 +8,52 @@ links, host threads — is either a scheduled callback or a generator-based
 The kernel is deliberately small: a time source, an event heap, and a run
 loop.  Determinism is guaranteed by breaking ties on (time, sequence
 number), so two runs with the same seeds produce identical traces.
+
+Fast path
+---------
+
+Four optimisations keep the kernel out of the profile at sweep scale
+(see ``docs/PERFORMANCE.md``):
+
+* :meth:`Simulator.post` / :meth:`Simulator.post_at` schedule a bare
+  ``(when, seq, fn, args)`` heap entry with no :class:`EventHandle` at
+  all — the right call for the vast majority of events (process resumes,
+  timeouts, packet deliveries) that are never cancelled and whose handle
+  the caller would discard;
+* ``pending()`` reads a live-event counter maintained on push/fire/cancel
+  instead of scanning the heap (the seed kernel was O(n) per call);
+* cancelled events stay in the heap as *tombstones* (lazy cancel) but the
+  heap is compacted in place once more than half of it is dead, bounding
+  memory in cancellation-heavy workloads (watchdogs, closed-loop
+  timeouts);
+* fired :class:`EventHandle` objects are recycled through a free list
+  when — and only when — the run loop holds the sole remaining reference
+  (checked via ``sys.getrefcount``), so a handle the caller kept is
+  never reused for a different event.
+
+Raw ``post`` entries and handle entries share one heap and one sequence
+counter, so interleaving the two APIs preserves the global (time, seq)
+tie-break order exactly.
 """
 
 from __future__ import annotations
 
 import heapq
+import sys
 from typing import Any, Callable, List, Optional, Tuple
 
 #: Virtual time is expressed in microseconds throughout the code base.
 MICROSECOND = 1.0
 MILLISECOND = 1_000.0
 SECOND = 1_000_000.0
+
+#: Compaction triggers once the heap holds at least this many tombstones
+#: *and* they outnumber the live entries (dead fraction > 50%).
+_COMPACT_MIN_DEAD = 64
+
+#: Upper bound on the handle free list; beyond this, fired handles are
+#: simply released to the garbage collector.
+_POOL_CAP = 4096
 
 
 class SimulationError(RuntimeError):
@@ -35,13 +70,21 @@ class Simulator:
     >>> sim.run()
     >>> fired
     ['b', 'a']
+
+    ``pooling=False`` disables the :class:`EventHandle` free list (every
+    ``call_at`` allocates a fresh handle, as the seed kernel did) — used
+    by the throughput benchmarks to price the pool.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, pooling: bool = True) -> None:
         self._now: float = 0.0
-        self._heap: List[Tuple[float, int, "EventHandle"]] = []
+        self._heap: List[Tuple] = []
         self._seq: int = 0
         self._running = False
+        self._live: int = 0      # scheduled, not yet fired or cancelled
+        self._dead: int = 0      # cancelled tombstones still in the heap
+        self._pool: List["EventHandle"] = []
+        self._pooling = pooling
         #: observability hooks, set by repro.obs.TracePlane.  Components
         #: check these per event and do nothing while they are None, so
         #: an uninstrumented run costs one attribute read per check.
@@ -53,14 +96,47 @@ class Simulator:
         """Current virtual time in microseconds."""
         return self._now
 
+    # -- fast path: handle-free scheduling -----------------------------
+    def post_at(self, when: float, fn: Callable[..., Any], *args: Any) -> None:
+        """Schedule ``fn(*args)`` at ``when`` with no cancellation handle.
+
+        Roughly twice as fast as :meth:`call_at`; use it whenever the
+        event is never cancelled and the handle would be discarded.
+        """
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule into the past: {when} < now {self._now}"
+            )
+        self._seq += 1
+        self._live += 1
+        heapq.heappush(self._heap, (when, self._seq, fn, args))
+
+    def post(self, delay: float, fn: Callable[..., Any], *args: Any) -> None:
+        """Schedule ``fn(*args)`` after ``delay`` µs; no handle (fast path)."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        self.post_at(self._now + delay, fn, *args)
+
+    # -- cancellable scheduling ----------------------------------------
     def call_at(self, when: float, fn: Callable[..., Any], *args: Any) -> "EventHandle":
         """Schedule ``fn(*args)`` at absolute virtual time ``when``."""
         if when < self._now:
             raise SimulationError(
                 f"cannot schedule into the past: {when} < now {self._now}"
             )
-        handle = EventHandle(when, fn, args)
+        pool = self._pool
+        if pool:
+            handle = pool.pop()
+            handle.when = when
+            handle._fn = fn
+            handle._args = args
+            handle.cancelled = False
+            handle.fired = False
+        else:
+            handle = EventHandle(when, fn, args)
+            handle._sim = self
         self._seq += 1
+        self._live += 1
         heapq.heappush(self._heap, (when, self._seq, handle))
         return handle
 
@@ -80,18 +156,44 @@ class Simulator:
         if self._running:
             raise SimulationError("run() is not reentrant")
         self._running = True
+        # _compact() mutates self._heap in place, so these aliases stay
+        # valid across a compaction triggered from inside a callback.
+        heap = self._heap
+        pool = self._pool
+        pooling = self._pooling
+        pop = heapq.heappop
+        getrefcount = sys.getrefcount
+        bounded = until is not None
         try:
-            while self._heap:
-                when, _seq, handle = self._heap[0]
-                if until is not None and when > until:
+            while heap:
+                if bounded and heap[0][0] > until:
                     self._now = until
                     return self._now
-                heapq.heappop(self._heap)
-                if handle.cancelled:
+                item = pop(heap)
+                if len(item) == 4:          # raw post(): (when, seq, fn, args)
+                    self._now = item[0]
+                    self._live -= 1
+                    item[2](*item[3])
                     continue
-                self._now = when
-                handle.fire()
-            if until is not None and until > self._now:
+                handle = item[2]
+                if handle.cancelled:
+                    self._dead -= 1
+                    handle._fn = None
+                    handle._args = ()
+                    continue
+                self._now = item[0]
+                item = None     # drop the tuple's handle ref for the
+                self._live -= 1  # refcount check below
+                handle.fired = True
+                handle._fn(*handle._args)
+                # Recycle only when the loop holds the sole reference
+                # (local var + getrefcount argument == 2): a handle the
+                # caller kept must never be reused for a new event.
+                if pooling and getrefcount(handle) == 2 and len(pool) < _POOL_CAP:
+                    handle._fn = None
+                    handle._args = ()
+                    pool.append(handle)
+            if bounded and until > self._now:
                 self._now = until
         finally:
             self._running = False
@@ -100,23 +202,46 @@ class Simulator:
     def step(self) -> bool:
         """Execute a single event.  Returns False when nothing is pending."""
         while self._heap:
-            when, _seq, handle = heapq.heappop(self._heap)
+            item = heapq.heappop(self._heap)
+            if len(item) == 4:
+                self._now = item[0]
+                self._live -= 1
+                item[2](*item[3])
+                return True
+            handle = item[2]
             if handle.cancelled:
+                self._dead -= 1
                 continue
-            self._now = when
+            self._now = item[0]
+            self._live -= 1
             handle.fire()
             return True
         return False
 
     def pending(self) -> int:
-        """Number of live (non-cancelled) events still queued."""
-        return sum(1 for _, _, h in self._heap if not h.cancelled)
+        """Number of live (non-cancelled) events still queued.  O(1)."""
+        return self._live
+
+    # -- lazy-cancel bookkeeping ---------------------------------------
+    def _note_cancel(self) -> None:
+        """Called by :meth:`EventHandle.cancel`; maybe compact the heap."""
+        self._live -= 1
+        self._dead += 1
+        if self._dead >= _COMPACT_MIN_DEAD and self._dead * 2 > len(self._heap):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled tombstones and re-heapify, in place."""
+        self._heap[:] = [entry for entry in self._heap
+                         if len(entry) == 4 or not entry[2].cancelled]
+        heapq.heapify(self._heap)
+        self._dead = 0
 
 
 class EventHandle:
     """A scheduled callback that can be cancelled before it fires."""
 
-    __slots__ = ("when", "_fn", "_args", "cancelled", "fired")
+    __slots__ = ("when", "_fn", "_args", "cancelled", "fired", "_sim")
 
     def __init__(self, when: float, fn: Callable[..., Any], args: Tuple[Any, ...]):
         self.when = when
@@ -124,9 +249,15 @@ class EventHandle:
         self._args = args
         self.cancelled = False
         self.fired = False
+        self._sim: Optional[Simulator] = None
 
     def cancel(self) -> None:
+        if self.cancelled or self.fired:
+            return
         self.cancelled = True
+        sim = self._sim
+        if sim is not None:
+            sim._note_cancel()
 
     def fire(self) -> None:
         if not self.cancelled:

@@ -37,7 +37,7 @@ class Timeout(Command):
         self.value = value
 
     def subscribe(self, process: "Process") -> None:
-        process.sim.call_in(self.delay, process._resume, self.value)
+        process.sim.post(self.delay, process._resume, self.value)
 
 
 class Signal(Command):
@@ -61,11 +61,11 @@ class Signal(Command):
         self.value = value
         waiters, self._waiters = self._waiters, []
         for resume in waiters:
-            self.sim.call_in(0.0, resume, value)
+            self.sim.post(0.0, resume, value)
 
     def subscribe(self, process: "Process") -> None:
         if self.triggered:
-            process.sim.call_in(0.0, process._resume, self.value)
+            process.sim.post(0.0, process._resume, self.value)
         else:
             self._waiters.append(process._resume)
 
@@ -88,12 +88,12 @@ class Process(Command):
         self.alive = True
         self.result: Any = None
         self._joiners: List[Callable[[Any], None]] = []
-        sim.call_in(0.0, self._resume, None)
+        sim.post(0.0, self._resume, None)
 
     # -- Command protocol: joining ------------------------------------
     def subscribe(self, process: "Process") -> None:
         if not self.alive:
-            process.sim.call_in(0.0, process._resume, self.result)
+            process.sim.post(0.0, process._resume, self.result)
         else:
             self._joiners.append(process._resume)
 
@@ -117,7 +117,7 @@ class Process(Command):
         self.result = result
         joiners, self._joiners = self._joiners, []
         for resume in joiners:
-            self.sim.call_in(0.0, resume, result)
+            self.sim.post(0.0, resume, result)
 
     def kill(self) -> None:
         """Terminate the process without resuming it again."""

@@ -88,7 +88,7 @@ class Store:
     def _register_put(self, process: Process, item: Any) -> None:
         if self.capacity is None or len(self.items) < self.capacity:
             self.items.append(item)
-            self.sim.call_in(0.0, process._resume, None)
+            self.sim.post(0.0, process._resume, None)
             self._dispatch()
         else:
             self._putters.append((process, item))
@@ -97,7 +97,7 @@ class Store:
         while self.items and self._getters:
             process = self._getters.popleft()
             item = self.items.popleft()
-            self.sim.call_in(0.0, process._resume, item)
+            self.sim.post(0.0, process._resume, item)
             self._admit_putter()
 
     def _admit_putter(self) -> None:
@@ -106,7 +106,7 @@ class Store:
         ):
             process, item = self._putters.popleft()
             self.items.append(item)
-            self.sim.call_in(0.0, process._resume, None)
+            self.sim.post(0.0, process._resume, None)
 
 
 class ResourceAcquire(Command):
@@ -149,7 +149,7 @@ class Resource:
         if self._waiters:
             process = self._waiters.popleft()
             self.in_use += 1
-            self.sim.call_in(0.0, process._resume, None)
+            self.sim.post(0.0, process._resume, None)
 
     @property
     def available(self) -> int:
@@ -158,6 +158,6 @@ class Resource:
     def _register(self, process: Process) -> None:
         if self.in_use < self.capacity:
             self.in_use += 1
-            self.sim.call_in(0.0, process._resume, None)
+            self.sim.post(0.0, process._resume, None)
         else:
             self._waiters.append(process)

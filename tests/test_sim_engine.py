@@ -116,3 +116,184 @@ def test_step_executes_one_event():
     assert fired == [1]
     assert sim.step()
     assert not sim.step()
+
+
+# -- fast path: post / post_at ----------------------------------------------
+
+def test_post_fires_in_time_order_with_args():
+    sim = Simulator()
+    order = []
+    sim.post(10.0, order.append, "late")
+    sim.post(1.0, order.append, "early")
+    sim.post_at(5.0, order.append, "middle")
+    sim.run()
+    assert order == ["early", "middle", "late"]
+
+
+def test_post_and_call_at_share_the_tie_break_sequence():
+    # Same-time events must fire in scheduling order regardless of which
+    # API scheduled them: the two entry shapes share one seq counter.
+    sim = Simulator()
+    order = []
+    sim.post_at(5.0, order.append, "post-1")
+    sim.call_at(5.0, order.append, "call-2")
+    sim.post_at(5.0, order.append, "post-3")
+    sim.call_at(5.0, order.append, "call-4")
+    sim.run()
+    assert order == ["post-1", "call-2", "post-3", "call-4"]
+
+
+def test_post_into_the_past_is_an_error():
+    sim = Simulator()
+    sim.post(10.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.post_at(5.0, lambda: None)
+    with pytest.raises(SimulationError):
+        sim.post(-1.0, lambda: None)
+
+
+def test_post_counts_toward_pending():
+    sim = Simulator()
+    sim.post(1.0, lambda: None)
+    sim.call_in(2.0, lambda: None)
+    assert sim.pending() == 2
+    sim.run()
+    assert sim.pending() == 0
+
+
+def test_run_until_stops_before_posted_event():
+    sim = Simulator()
+    fired = []
+    sim.post(10.0, fired.append, "x")
+    sim.run(until=5.0)
+    assert fired == [] and sim.now == 5.0 and sim.pending() == 1
+    sim.run()
+    assert fired == ["x"]
+
+
+# -- pending() counter bookkeeping ------------------------------------------
+
+def test_pending_is_consistent_through_cancel_and_run():
+    sim = Simulator()
+    handles = [sim.call_at(float(i + 1), lambda: None) for i in range(10)]
+    assert sim.pending() == 10
+    for h in handles[:4]:
+        h.cancel()
+    assert sim.pending() == 6
+    sim.run(until=5.0)   # events at t=5,6,...,10 minus the cancelled ones
+    assert sim.pending() == sum(
+        1 for h in handles if not h.cancelled and not h.fired)
+    sim.run()
+    assert sim.pending() == 0
+
+
+def test_double_cancel_counts_once():
+    sim = Simulator()
+    handle = sim.call_at(1.0, lambda: None)
+    sim.call_at(2.0, lambda: None)
+    handle.cancel()
+    handle.cancel()
+    assert sim.pending() == 1
+
+
+def test_cancel_after_fire_is_a_noop():
+    sim = Simulator()
+    handle = sim.call_at(1.0, lambda: None)
+    keep = handle            # keep a reference so the pool can't recycle it
+    sim.call_at(2.0, lambda: None)
+    sim.run()
+    assert keep.fired
+    keep.cancel()            # must not corrupt the live counter
+    assert not keep.cancelled
+    assert sim.pending() == 0
+
+
+# -- tombstone compaction ----------------------------------------------------
+
+def test_compaction_bounds_the_heap_under_watchdog_load():
+    from repro.sim.engine import _COMPACT_MIN_DEAD
+    sim = Simulator()
+    peak = [0]
+    count = [0]
+
+    def work():
+        count[0] += 1
+        watchdog = sim.call_in(1e9, lambda: None)
+        watchdog.cancel()
+        peak[0] = max(peak[0], len(sim._heap))
+        if count[0] < 10_000:
+            sim.call_in(1.0, work)
+
+    sim.call_in(1.0, work)
+    sim.run()
+    # without compaction the heap would hold ~10k tombstones
+    assert peak[0] <= 4 * _COMPACT_MIN_DEAD
+    assert count[0] == 10_000
+
+
+def test_compaction_preserves_event_order():
+    from repro.sim.engine import _COMPACT_MIN_DEAD
+    sim = Simulator()
+    order = []
+    doomed = [sim.call_at(500.0 + i, lambda: None)
+              for i in range(2 * _COMPACT_MIN_DEAD)]
+    sim.call_at(3.0, order.append, "c")
+    sim.post_at(1.0, order.append, "a")
+    sim.call_at(2.0, order.append, "b")
+    for h in doomed:
+        h.cancel()           # triggers in-place compaction
+    assert sim.pending() == 3
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_compaction_inside_run_keeps_loop_alive():
+    from repro.sim.engine import _COMPACT_MIN_DEAD
+    sim = Simulator()
+    fired = []
+
+    def arm_and_cancel():
+        doomed = [sim.call_in(1e6, lambda: None)
+                  for _ in range(2 * _COMPACT_MIN_DEAD)]
+        for h in doomed:
+            h.cancel()       # compacts self._heap while run() iterates it
+        sim.post(1.0, fired.append, "after")
+
+    sim.post(1.0, arm_and_cancel)
+    sim.run()
+    assert fired == ["after"]
+
+
+# -- handle pooling ----------------------------------------------------------
+
+def test_retained_handle_is_never_recycled():
+    sim = Simulator()
+    kept = sim.call_at(1.0, lambda: None)
+    sim.call_at(2.0, lambda: None)   # discarded: eligible for the pool
+    sim.run()
+    assert kept.fired
+    # schedule many more events; none may alias the retained handle
+    fresh = [sim.call_at(10.0 + i, lambda: None) for i in range(8)]
+    assert all(h is not kept for h in fresh)
+    assert kept.fired        # untouched by later scheduling
+
+
+def test_pool_reuses_discarded_handles():
+    sim = Simulator(pooling=True)
+    for i in range(100):
+        sim.call_at(float(i), lambda: None)
+    sim.run()
+    assert len(sim._pool) > 0
+    pooled = sim._pool[-1]
+    handle = sim.call_at(200.0, lambda: None)
+    assert handle is pooled          # recycled, not allocated
+    assert not handle.fired and not handle.cancelled
+
+
+def test_pooling_disabled_allocates_fresh_handles():
+    sim = Simulator(pooling=False)
+    for i in range(10):
+        sim.call_at(float(i), lambda: None)
+    sim.run()
+    assert sim._pool == []
