@@ -64,6 +64,10 @@ class MultiPaxosNode:
         self._pending_client: List[Any] = []
         self.committed_count = 0
         self.messages_sent = 0
+        #: correctness hook (repro.check.PaxosMonitor): notified at every
+        #: local commit so conflicting chosen values are caught at the
+        #: committing call site, not at the next periodic scan.
+        self.checker = None
 
     # -- helpers ---------------------------------------------------------------
     @property
@@ -183,6 +187,8 @@ class MultiPaxosNode:
         entry.committed = True
         entry.value = value
         self.committed_count += 1
+        if self.checker is not None:
+            self.checker.note_commit(self.name, instance, value)
         self.next_instance = max(self.next_instance, instance + 1)
         # apply contiguous committed prefix in order
         while True:

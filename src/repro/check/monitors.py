@@ -1,0 +1,300 @@
+"""Runtime invariant monitors (the CheckPlane's monitor catalog).
+
+Each monitor watches one component and yields human-readable violation
+messages from :meth:`check`.  Monitors are *pure observers*: they never
+schedule events or charge virtual time, so an instrumented run produces
+bit-identical results to an uninstrumented one.  They are driven from
+:class:`~repro.check.plane.CheckPlane.after_step` every N engine events
+(and, for Paxos, synchronously at each commit).
+
+The invariants:
+
+* **SchedulerMonitor** — DRR quantum conservation: every µs of deficit
+  granted is spent on execution, forfeited when an actor leaves the DRR
+  group, or still outstanding on a runnable actor
+  (``granted == spent + forfeited + Σ outstanding``); non-DRR actors
+  carry no deficit; no runnable DRR actor with backlog goes unserved
+  longer than the starvation bound.
+* **DmoMonitor** — every object lives in exactly one table, its
+  ``location`` field agrees with the table holding it, and each actor's
+  region satisfies ``0 <= used <= capacity`` with ``used`` equal to the
+  actor's live object bytes.
+* **RingMonitor** — slot conservation
+  (``free + buffered + unsynced_consumed == slots``),
+  ``produced == consumed + buffered``, and non-decreasing visibility
+  times along the buffer (the DMA ordering guarantee of §3.5).
+* **ChannelMonitor** — per-key release sequence is monotone, released
+  counts track ``expected`` exactly (at-most-once, in-order delivery),
+  and nothing below the release point is ever stashed.
+* **PaxosMonitor** — at most one value is ever chosen per log instance
+  across a replica group (the Paxos safety property).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+
+@dataclass
+class Violation:
+    """One invariant violation, stamped with its virtual-time context."""
+
+    monitor: str
+    component: str
+    message: str
+    time_us: float
+    #: trace context (trace_id, span_id) active when the violation was
+    #: raised, when a tracer was installed
+    trace: Optional[Tuple[int, int]] = None
+
+    def __str__(self) -> str:
+        where = f" [{self.component}]" if self.component else ""
+        return (f"invariant violation at t={self.time_us:.2f}µs "
+                f"({self.monitor}{where}): {self.message}")
+
+
+class InvariantViolation(RuntimeError):
+    """Raised by a strict CheckPlane when a monitor reports a violation."""
+
+    def __init__(self, violation: Violation):
+        super().__init__(str(violation))
+        self.violation = violation
+
+
+class SchedulerMonitor:
+    """DRR quantum conservation + no-starvation for a NicScheduler."""
+
+    name = "scheduler"
+
+    def __init__(self, scheduler, starvation_bound_us: float = 50_000.0,
+                 tolerance_us: float = 1e-3):
+        self.scheduler = scheduler
+        self.component = getattr(scheduler, "node_name", "nic")
+        self.starvation_bound_us = starvation_bound_us
+        self.tolerance_us = tolerance_us
+        #: actor name -> (last time progress was observed, requests_seen
+        #: at that time); progress resets the starvation clock
+        self._progress: Dict[str, Tuple[float, int]] = {}
+        self._starved: set = set()
+
+    def check(self, now: float) -> Iterator[str]:
+        sched = self.scheduler
+        outstanding = sum(a.deficit for a in sched.drr_runnable)
+        granted = sched.quantum_granted_us
+        spent = sched.deficit_spent_us
+        forfeited = sched.deficit_forfeited_us
+        imbalance = granted - spent - forfeited - outstanding
+        tol = max(self.tolerance_us, 1e-9 * abs(granted))
+        if abs(imbalance) > tol:
+            yield (f"DRR quantum not conserved: granted {granted:.3f}µs != "
+                   f"spent {spent:.3f} + forfeited {forfeited:.3f} + "
+                   f"outstanding {outstanding:.3f} (off by {imbalance:+.3f}µs)")
+        for actor in sched.actors:
+            if not actor.is_drr and actor.deficit:
+                yield (f"actor {actor.name!r} holds {actor.deficit:.3f}µs of "
+                       f"deficit outside the DRR group")
+        # No-starvation: a runnable DRR actor with backlog must make
+        # progress (requests_seen advances) within the bound.
+        runnable = {a.name for a in sched.drr_runnable}
+        for actor in sched.drr_runnable:
+            if not actor.mailbox or not actor.schedulable:
+                self._progress.pop(actor.name, None)
+                continue
+            last = self._progress.get(actor.name)
+            if last is None or actor.requests_seen != last[1]:
+                self._progress[actor.name] = (now, actor.requests_seen)
+                self._starved.discard(actor.name)
+                continue
+            waited = now - last[0]
+            if waited > self.starvation_bound_us and actor.name not in self._starved:
+                self._starved.add(actor.name)
+                yield (f"DRR actor {actor.name!r} starved: "
+                       f"{len(actor.mailbox)} queued requests and no "
+                       f"progress for {waited:.0f}µs "
+                       f"(bound {self.starvation_bound_us:.0f}µs)")
+        for gone in [n for n in self._progress if n not in runnable]:
+            self._progress.pop(gone, None)
+            self._starved.discard(gone)
+
+
+class DmoMonitor:
+    """Object/region containment for a DmoManager."""
+
+    name = "dmo"
+
+    def __init__(self, dmo, component: str = ""):
+        self.dmo = dmo
+        self.component = component
+
+    def check(self, now: float) -> Iterator[str]:
+        dmo = self.dmo
+        seen: Dict[int, Any] = {}
+        usage: Dict[str, int] = {}
+        for location, table in dmo.tables.items():
+            for obj in table.objects():
+                if obj.object_id in seen:
+                    yield (f"object {obj.object_id} (actor {obj.actor!r}) "
+                           f"present in both the {seen[obj.object_id].value} "
+                           f"and {location.value} tables")
+                else:
+                    seen[obj.object_id] = location
+                if obj.location is not location:
+                    yield (f"object {obj.object_id} sits in the "
+                           f"{location.value} table but claims location "
+                           f"{obj.location.value}")
+                usage[obj.actor] = usage.get(obj.actor, 0) + obj.size
+        for actor, region in dmo.regions.items():
+            used = getattr(region, "used", None)
+            capacity = getattr(region, "capacity", None)
+            if used is None or capacity is None:
+                continue
+            if not 0 <= used <= capacity:
+                yield (f"region of {actor!r} out of bounds: "
+                       f"used {used}B not in [0, {capacity}]B")
+            live = usage.get(actor, 0)
+            if used != live:
+                yield (f"region of {actor!r} accounts {used}B but live "
+                       f"objects total {live}B")
+
+
+class RingMonitor:
+    """Head/tail and slot accounting for one channel Ring."""
+
+    name = "ring"
+
+    def __init__(self, ring):
+        self.ring = ring
+        self.component = ring.name
+
+    def check(self, now: float) -> Iterator[str]:
+        ring = self.ring
+        buffered = len(ring._buffer)
+        if ring.produced != ring.consumed + buffered:
+            yield (f"slot leak: produced {ring.produced} != consumed "
+                   f"{ring.consumed} + buffered {buffered}")
+        total = ring._producer_free + buffered + ring._consumed_since_sync
+        if total != ring.slots:
+            yield (f"free-slot accounting broken: free "
+                   f"{ring._producer_free} + buffered {buffered} + "
+                   f"unsynced {ring._consumed_since_sync} != "
+                   f"{ring.slots} slots")
+        if not 0 <= ring._producer_free <= ring.slots:
+            yield (f"producer free-count {ring._producer_free} outside "
+                   f"[0, {ring.slots}]")
+        last_visible = -1.0
+        for _msg, _checksum, visible_at in ring._buffer:
+            if visible_at < last_visible:
+                yield (f"visibility order broken: slot visible at "
+                       f"{visible_at:.3f}µs behind predecessor at "
+                       f"{last_visible:.3f}µs")
+                break
+            last_visible = visible_at
+
+
+class ChannelMonitor:
+    """Sequence monotonicity + at-most-once delivery for a ReliableChannel."""
+
+    name = "channel"
+
+    def __init__(self, rchannel):
+        self.rchannel = rchannel
+        self.component = rchannel.channel.to_host.node_name
+        #: direction -> key -> highest release point seen so far
+        self._high: Dict[str, Dict[str, int]] = {}
+
+    def check(self, now: float) -> Iterator[str]:
+        for direction, state in self.rchannel._dirs.items():
+            high = self._high.setdefault(direction, {})
+            for key, expected in state.expected.items():
+                prev = high.get(key, 0)
+                if expected < prev:
+                    yield (f"{direction} release sequence for key {key!r} "
+                           f"went backwards: {expected} after {prev}")
+                else:
+                    high[key] = expected
+                released = state.released.get(key, 0)
+                if released != expected:
+                    yield (f"{direction} delivery for key {key!r} broken: "
+                           f"released {released} messages but release "
+                           f"point is {expected} (at-most-once/in-order "
+                           f"breach)")
+            for (key, seq) in state.stash:
+                if seq < state.expected.get(key, 0):
+                    yield (f"{direction} stash holds key {key!r} seq {seq} "
+                           f"below its release point "
+                           f"{state.expected.get(key, 0)} (duplicate kept)")
+
+
+class _GroupCommitHook:
+    """Installed as ``node.checker`` — forwards commits to the monitor."""
+
+    __slots__ = ("monitor", "group")
+
+    def __init__(self, monitor: "PaxosMonitor", group: str):
+        self.monitor = monitor
+        self.group = group
+
+    def note_commit(self, node_name: str, instance: int, value: Any) -> None:
+        self.monitor.on_commit(self.group, node_name, instance, value)
+
+
+class PaxosMonitor:
+    """Single-value-per-slot across every watched replica group.
+
+    Commits are checked twice: synchronously via the node's ``checker``
+    hook (so a conflicting commit raises inside the offending call
+    stack, with the handler's span still open) and by a periodic rescan
+    of every replica's log (catching direct log corruption).
+    """
+
+    name = "paxos"
+
+    def __init__(self, plane=None):
+        #: back-reference for synchronous reporting; set by CheckPlane
+        self.plane = plane
+        self.component = ""
+        self.groups: Dict[str, List[Any]] = {}
+        #: (group, instance) -> (value, first committing node)
+        self._chosen: Dict[Tuple[str, int], Tuple[Any, str]] = {}
+        self._pending: List[str] = []
+
+    def watch(self, group: str, node) -> None:
+        """Register one replica; installs the node's commit hook."""
+        members = self.groups.setdefault(group, [])
+        if node not in members:
+            members.append(node)
+        node.checker = _GroupCommitHook(self, group)
+
+    def on_commit(self, group: str, node_name: str, instance: int,
+                  value: Any) -> None:
+        key = (group, instance)
+        prior = self._chosen.get(key)
+        if prior is None:
+            self._chosen[key] = (value, node_name)
+            return
+        if prior[0] != value:
+            message = (f"group {group!r} instance {instance}: node "
+                       f"{node_name!r} committed {value!r} but node "
+                       f"{prior[1]!r} already committed {prior[0]!r}")
+            if self.plane is not None:
+                self.plane.report(self, message, component=group)
+            else:
+                self._pending.append(message)
+
+    def check(self, now: float) -> Iterator[str]:
+        pending, self._pending = self._pending, []
+        yield from pending
+        for group, members in self.groups.items():
+            chosen: Dict[int, Tuple[Any, str]] = {}
+            for node in members:
+                for instance, entry in node.log.items():
+                    if not entry.committed:
+                        continue
+                    prior = chosen.get(instance)
+                    if prior is None:
+                        chosen[instance] = (entry.value, node.name)
+                    elif prior[0] != entry.value:
+                        yield (f"group {group!r} instance {instance}: "
+                               f"log of {node.name!r} holds {entry.value!r} "
+                               f"but {prior[1]!r} holds {prior[0]!r}")

@@ -11,11 +11,15 @@ Usage::
     python -m repro fig16 --jobs 4
     python -m repro sweep fig16 --jobs 4 --quick
     python -m repro bench --out BENCH_sweep.json
+    python -m repro check --replay 2 fig16 --quick
+    python -m repro lint
 
 ``--jobs N`` fans a figure's grid out to N worker processes through the
 sweep executor (results are bit-identical to a serial run); ``sweep``
 additionally caches point results on disk so re-runs only recompute
-dirty points; ``bench`` emits the perf baseline ``BENCH_sweep.json``.
+dirty points; ``bench`` emits the perf baseline ``BENCH_sweep.json``;
+``check`` replays one experiment under the determinism sanitizer and
+``lint`` runs the static nondeterminism-hazard pass (docs/CHECKING.md).
 
 ``--quick`` shrinks simulation durations ~4x for a fast look; the
 benchmark suite (``pytest benchmarks/ --benchmark-only``) remains the
@@ -297,10 +301,17 @@ def _cmd_bench(argv) -> int:
                         help="full-size sweep grid instead of the quick one")
     parser.add_argument("--figures", action="store_true",
                         help="also time per-figure grid wall-clock")
+    # argparse help strings are %-interpolated: escape the threshold
+    threshold = f"{REGRESSION_THRESHOLD:.0%}".replace("%", "%%")
     parser.add_argument("--check", metavar="BASELINE", default=None,
                         help="compare *_eps metrics against a baseline "
-                             f"JSON; exit 1 on a >{REGRESSION_THRESHOLD:.0%} "
-                             "regression")
+                             "JSON file. Exit code 0: every metric is "
+                             f"within {threshold} of the baseline (the "
+                             "fresh results are still written to --out). "
+                             "Exit code 1: at least one metric regressed "
+                             "beyond the threshold; each failing metric "
+                             "is printed with its baseline and current "
+                             "value")
     args = parser.parse_args(argv)
     bench = run_bench(pool=args.pool, quick=not args.full,
                       figures=args.figures)
@@ -327,6 +338,118 @@ def _cmd_bench(argv) -> int:
                 print(f"  {failure}")
             return 1
         print(f"  no regression vs {args.check}")
+    return 0
+
+
+#: ``repro check`` targets: representative runs covering the scheduler
+#: study (fig16), the characterization dataplane (fig5), and the three
+#: chaos scenarios (full fault-injection + recovery paths).
+CHECK_TARGETS = ("fig5", "fig16", "chaos-rkv", "chaos-dt", "chaos-rta")
+
+
+def _check_run_fn(target: str, quick: bool, seed: int | None):
+    """A self-contained zero-arg runner for one ``repro check`` target.
+
+    ``--quick`` shrinks durations to sanitizer-smoke size (a two-replay
+    check finishes in about a second); without it the experiment's
+    default duration is used.
+    """
+    if target == "fig16":
+        from .experiments.scheduler_study import run_point
+        from .nic import LIQUIDIO_CN2350
+        kwargs = {"seed": 1 if seed is None else seed}
+        if quick:
+            kwargs["duration_us"] = 4_000.0
+        return lambda: run_point(LIQUIDIO_CN2350, "ipipe", "high", 0.9,
+                                 **kwargs)
+    if target == "fig5":
+        from .experiments.characterization import traffic_manager_experiment
+        kwargs = {"seed": 3 if seed is None else seed}
+        if quick:
+            kwargs["duration_us"] = 3_000.0
+        return lambda: traffic_manager_experiment(frame_bytes=512, cores=6,
+                                                  **kwargs)
+    workload = target.split("-", 1)[1]
+    from .exec.grids import chaos_point
+    kwargs = {"seed": 42 if seed is None else seed}
+    if quick:
+        kwargs["duration_us"] = 10_000.0
+    return lambda: chaos_point(workload, **kwargs)
+
+
+def _cmd_check(argv) -> int:
+    """``repro check``: N-replay determinism sanitizer over one target."""
+    from .check import replay_check
+    parser = argparse.ArgumentParser(
+        prog="python -m repro check",
+        description="Replay one experiment N times under the determinism "
+                    "sanitizer and compare rolling event digests; on a "
+                    "mismatch, binary-search to the first divergent event "
+                    "and name the offending callback. Exit code 0: all "
+                    "replays bit-identical and no nondeterminism hazard "
+                    "observed; exit code 1 otherwise.")
+    parser.add_argument("target", choices=CHECK_TARGETS,
+                        help="which experiment to replay")
+    parser.add_argument("--replay", type=int, default=2, metavar="N",
+                        help="replays to compare (minimum 2; default 2)")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="experiment seed (default: the target's own)")
+    parser.add_argument("--quick", action="store_true",
+                        help="sanitizer-smoke durations (~1s per check)")
+    parser.add_argument("--monitors", action="store_true",
+                        help="also sweep the runtime invariant monitors "
+                             "during each replay (violations fail the "
+                             "check)")
+    args = parser.parse_args(argv)
+    if args.replay < 2:
+        parser.error("--replay must be at least 2")
+    run_fn = _check_run_fn(args.target, args.quick, args.seed)
+    result = replay_check(run_fn, replays=args.replay,
+                          monitors=args.monitors)
+    print(f"check {args.target}"
+          + (f" --seed {args.seed}" if args.seed is not None else "")
+          + (" --monitors" if args.monitors else ""))
+    print(result.describe())
+    return 0 if result.ok else 1
+
+
+def _cmd_lint(argv) -> int:
+    """``repro lint``: static nondeterminism-hazard pass over src/repro."""
+    import os
+    from .check import RULES, lint_file, lint_tree
+    parser = argparse.ArgumentParser(
+        prog="python -m repro lint",
+        description="Static pass banning nondeterminism hazards (host "
+                    "clocks, module-level random, set iteration feeding "
+                    "event scheduling) in simulation code. Exit code 0: "
+                    "clean; 1: findings; 2: a path does not exist.")
+    parser.add_argument("paths", nargs="*", metavar="PATH",
+                        help="files or directories to lint (default: the "
+                             "installed repro package)")
+    parser.add_argument("--rules", action="store_true",
+                        help="list the lint rules and exit")
+    args = parser.parse_args(argv)
+    if args.rules:
+        for rule, description in sorted(RULES.items()):
+            print(f"{rule:15s} {description}")
+        return 0
+    roots = args.paths or [os.path.dirname(os.path.abspath(__file__))]
+    findings = []
+    for root in roots:
+        if not os.path.exists(root):
+            print(f"no such path: {root}", file=sys.stderr)
+            return 2
+        if os.path.isfile(root):
+            findings.extend(lint_file(root))
+        else:
+            findings.extend(lint_tree(root))
+    for finding in findings:
+        print(finding)
+    checked = ", ".join(args.paths) if args.paths else "src/repro"
+    if findings:
+        print(f"repro lint: {len(findings)} finding(s) in {checked}")
+        return 1
+    print(f"repro lint: clean ({checked})")
     return 0
 
 
@@ -361,6 +484,10 @@ def main(argv=None) -> int:
         return _cmd_sweep(argv[1:])
     if argv and argv[0] == "bench":
         return _cmd_bench(argv[1:])
+    if argv and argv[0] == "check":
+        return _cmd_check(argv[1:])
+    if argv and argv[0] == "lint":
+        return _cmd_lint(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate tables/figures from the iPipe paper.")

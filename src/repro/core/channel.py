@@ -223,7 +223,8 @@ class Channel:
 class _ReliableDirection:
     """Per-direction reliable-delivery state (one ring)."""
 
-    __slots__ = ("ring", "next_seq", "expected", "stash", "ready", "unacked")
+    __slots__ = ("ring", "next_seq", "expected", "stash", "ready", "unacked",
+                 "released")
 
     def __init__(self, ring: Ring):
         self.ring = ring
@@ -232,6 +233,11 @@ class _ReliableDirection:
         self.stash: Dict[Tuple[str, int], Message] = {}  # out-of-order
         self.ready: Deque[Message] = deque()   # in-order, awaiting poll
         self.unacked: Dict[Tuple[str, int], Message] = {}
+        #: key -> messages released in order so far.  Mirrors ``expected``
+        #: by construction; repro.check's ChannelMonitor compares the two
+        #: to prove at-most-once, in-order delivery (a release loop bug
+        #: would break the equality before it corrupts user state).
+        self.released: Dict[str, int] = {}
 
 
 class ReliableChannel:
@@ -362,6 +368,7 @@ class ReliableChannel:
             while (key, expected) in state.stash:
                 released = state.stash.pop((key, expected))
                 expected += 1
+                state.released[key] = state.released.get(key, 0) + 1
                 self._note_delivered(released, state.ring)
                 state.ready.append(released)
             state.expected[key] = expected

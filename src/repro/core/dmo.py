@@ -60,6 +60,10 @@ class ObjectTable:
     def owned_by(self, actor: str) -> Iterable[Dmo]:
         return [o for o in self._objects.values() if o.actor == actor]
 
+    def objects(self) -> Iterable[Dmo]:
+        """All live entries (introspection; used by the DMO monitor)."""
+        return list(self._objects.values())
+
     def __len__(self) -> int:
         return len(self._objects)
 
@@ -86,6 +90,11 @@ class DmoManager:
         self._regions: Dict[str, Any] = {}
         self.denied_accesses = 0
         self.translations = 0
+
+    @property
+    def regions(self) -> Dict[str, Any]:
+        """Per-actor memory regions (read-only view for the DMO monitor)."""
+        return self._regions
 
     # -- actor region lifecycle (§3.3 "large equal-sized chunks") ----------
     def create_region(self, actor: str, nbytes: Optional[int] = None) -> None:

@@ -104,6 +104,7 @@ class Migrator:
             scheduler = self.runtime.nic_scheduler
             if actor in scheduler.drr_runnable:
                 scheduler.drr_runnable.remove(actor)
+            scheduler.forfeit_deficit(actor)
         yield Timeout(PREPARE_COST_US)
         report.phase_us[1] = sim.now - t0
 

@@ -272,6 +272,11 @@ class IPipeRuntime:
         )
         if fault_plane is not None:
             fault_plane.wire_runtime(self)
+        # A CheckPlane installed on this sim (repro.check) picks up any
+        # runtime built afterwards and registers its invariant monitors.
+        checker = getattr(sim, "checker", None)
+        if checker is not None and hasattr(checker, "wire_runtime"):
+            checker.wire_runtime(self)
 
     # -- actor lifecycle -----------------------------------------------------------
     def register_actor(self, actor: Actor,
@@ -303,6 +308,7 @@ class IPipeRuntime:
         sched = self.nic_scheduler
         if actor in sched.drr_runnable:
             sched.drr_runnable.remove(actor)
+        sched.forfeit_deficit(actor)
         for key in [k for k, v in self.dispatch_table.items() if v == name]:
             del self.dispatch_table[key]
         self.dmo.destroy_region(name)
@@ -335,6 +341,7 @@ class IPipeRuntime:
         sched = self.nic_scheduler
         if actor in sched.drr_runnable:
             sched.drr_runnable.remove(actor)
+        sched.forfeit_deficit(actor)
         actor.is_drr = False
         actor._locked_by = None
         # in-flight mailbox requests survive the crash: buffer them the

@@ -137,6 +137,14 @@ class NicScheduler:
         self.core_failures = 0
         self.core_stalls = 0
         self.drr_runnable: Deque[Actor] = deque()
+        #: DRR quantum-conservation ledger (checked by
+        #: repro.check.monitors.SchedulerMonitor): every µs of deficit an
+        #: actor is granted is either spent on execution, forfeited when
+        #: the actor leaves the DRR group (upgrade, kill, crash, empty
+        #: mailbox reset), or still outstanding on a runnable actor.
+        self.quantum_granted_us = 0.0
+        self.deficit_spent_us = 0.0
+        self.deficit_forfeited_us = 0.0
         #: Queueing-delay tracker of operations handled by the FCFS group.
         #: The thresholds are forwarding-latency budgets (§3.2.3 derives
         #: them from line-rate MTU forwarding), so the compared statistic
@@ -166,6 +174,18 @@ class NicScheduler:
     # -- lifecycle -------------------------------------------------------------
     def stop(self) -> None:
         self._running = False
+
+    def forfeit_deficit(self, actor: Actor) -> None:
+        """Zero an actor's deficit, accounting it as forfeited.
+
+        Called wherever an actor leaves the DRR group with credit still
+        on the books — upgrade back to FCFS, watchdog kill, crash,
+        deletion, or the empty-mailbox reset of ALG 2 — so the quantum
+        conservation invariant stays balanced.
+        """
+        if actor.deficit:
+            self.deficit_forfeited_us += actor.deficit
+            actor.deficit = 0.0
 
     def fcfs_cores(self) -> int:
         return sum(1 for m in self.core_mode if m == "fcfs")
@@ -346,9 +366,11 @@ class NicScheduler:
             if not actor.is_drr or not actor.schedulable:
                 continue
             if not actor.mailbox:
-                actor.deficit = 0.0
+                self.forfeit_deficit(actor)
                 continue
-            actor.deficit += self.quantum_fn(actor)
+            quantum = self.quantum_fn(actor)
+            actor.deficit += quantum
+            self.quantum_granted_us += quantum
             # ALG 2 compares the deficit against the actor's *execution*
             # latency estimate (pure service time — using the response time
             # here would let backlog inflate the bar and starve the actor).
@@ -364,13 +386,15 @@ class NicScheduler:
                         core_id, actor, msg,
                         msg.meta.get("nic_arrival", msg.created_at),
                         group="drr")
-                    actor.deficit -= max(self.sim.now - exec_start, est)
+                    charge = max(self.sim.now - exec_start, est)
+                    actor.deficit -= charge
+                    self.deficit_spent_us += charge
                 finally:
                     actor.unlock(core_id)
                 did_work = True
                 est = max(actor.mean_service_us, 0.1)
             if not actor.mailbox:
-                actor.deficit = 0.0
+                self.forfeit_deficit(actor)
             self._maybe_drr_mailbox_migration(actor)
             # upgrade check (lines 10-12 of ALG 2)
             threshold = (1 - self.config.alpha) * self.config.tail_thresh_us
@@ -470,6 +494,7 @@ class NicScheduler:
                 if victim is not None:
                     if victim in self.drr_runnable:
                         self.drr_runnable.remove(victim)
+                    self.forfeit_deficit(victim)
                     if self.on_actor_killed is not None:
                         self.on_actor_killed(victim)
                 gen.close()
@@ -489,7 +514,7 @@ class NicScheduler:
             return False
         victim = max(candidates, key=lambda a: a.dispersion)
         victim.is_drr = True
-        victim.deficit = 0.0
+        self.forfeit_deficit(victim)
         self.drr_runnable.append(victim)
         self.downgrades += 1
         if self.drr_cores() == 0:
@@ -503,6 +528,7 @@ class NicScheduler:
         chosen = min(candidates, key=lambda a: a.dispersion)
         chosen.is_drr = False
         self.drr_runnable.remove(chosen)
+        self.forfeit_deficit(chosen)
         self.upgrades += 1
         # drain its backlog back through the shared queue
         while chosen.mailbox:

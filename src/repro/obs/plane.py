@@ -85,6 +85,11 @@ class TracePlane:
             self.tracer.close_all()
         return write_chrome_trace(self.spans, path)
 
+    def violations(self):
+        """Spans recorded by CheckPlane invariant monitors (category
+        ``check.violation``) — one instant span per violation."""
+        return [span for span in self.spans if span.cat == "check.violation"]
+
     def metrics_snapshot(self, windowed: bool = True) -> Dict[str, Dict[str, float]]:
         if self.metrics is None:
             return {}

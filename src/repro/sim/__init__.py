@@ -3,7 +3,7 @@
 from .engine import MICROSECOND, MILLISECOND, SECOND, EventHandle, SimulationError, Simulator
 from .process import Process, Signal, Timeout, all_of, spawn
 from .resources import Resource, Store
-from .distributions import Rng, ZipfGenerator, percentile
+from .distributions import Rng, ZipfGenerator, percentile, rng_draw_count
 from .faults import FaultKind, FaultPlane, FaultSnapshot, FaultSpec, RecoveryPolicy
 from .stats import Counter, Ewma, LatencyRecorder, LatencyTracker, UtilizationTracker
 
@@ -29,6 +29,7 @@ __all__ = [
     "RecoveryPolicy",
     "ZipfGenerator",
     "percentile",
+    "rng_draw_count",
     "Counter",
     "Ewma",
     "LatencyRecorder",

@@ -13,6 +13,19 @@ import math
 import random
 from typing import List, Sequence
 
+#: Process-global count of draws taken through any :class:`Rng`.  This is
+#: the "RNG-stream position" the determinism sanitizer folds into its
+#: per-step digest (see ``repro.check.sanitizer``): two replays that drew
+#: a different number of seeded variates by the same event index diverge
+#: here even when the event timing happens to coincide.  The counter only
+#: ever increases; consumers record deltas from a session baseline.
+_draws = 0
+
+
+def rng_draw_count() -> int:
+    """Total :class:`Rng` draws taken in this process so far."""
+    return _draws
+
 
 class Rng:
     """A named, seeded random stream."""
@@ -27,30 +40,46 @@ class Rng:
 
     # -- basic draws -----------------------------------------------------
     def uniform(self, lo: float, hi: float) -> float:
+        global _draws
+        _draws += 1
         return self._random.uniform(lo, hi)
 
     def randint(self, lo: int, hi: int) -> int:
+        global _draws
+        _draws += 1
         return self._random.randint(lo, hi)
 
     def choice(self, seq: Sequence) -> object:
+        global _draws
+        _draws += 1
         return seq[self._random.randrange(len(seq))]
 
     def random(self) -> float:
+        global _draws
+        _draws += 1
         return self._random.random()
 
     def bytes(self, n: int) -> bytes:
+        global _draws
+        _draws += 1
         return bytes(self._random.getrandbits(8) for _ in range(n))
 
     def shuffle(self, seq: List) -> None:
+        global _draws
+        _draws += 1
         self._random.shuffle(seq)
 
     # -- interarrival / service time distributions ------------------------
     def exponential(self, mean: float) -> float:
         """Exponential draw; ``mean`` in the caller's unit (µs here)."""
+        global _draws
+        _draws += 1
         return self._random.expovariate(1.0 / mean)
 
     def poisson_interarrival(self, rate_per_us: float) -> float:
         """Interarrival gap for a Poisson process with the given rate."""
+        global _draws
+        _draws += 1
         return self._random.expovariate(rate_per_us)
 
     def bimodal(self, low: float, high: float, p_high: float = 0.1) -> float:
@@ -59,10 +88,14 @@ class Rng:
         The paper's high-dispersion workload (§5.4) uses b1/b2 pairs such as
         35µs/60µs — modelled as a two-point distribution.
         """
+        global _draws
+        _draws += 1
         return high if self._random.random() < p_high else low
 
     def lognormal(self, mean: float, sigma: float = 0.5) -> float:
         """Log-normal with the requested arithmetic mean."""
+        global _draws
+        _draws += 1
         mu = math.log(mean) - sigma * sigma / 2.0
         return self._random.lognormvariate(mu, sigma)
 

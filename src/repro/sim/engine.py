@@ -90,6 +90,13 @@ class Simulator:
         #: an uninstrumented run costs one attribute read per check.
         self.tracer = None
         self.metrics = None
+        #: correctness hook, set by repro.check.CheckPlane.  The kernel
+        #: calls ``checker.on_schedule(when, seq, fn)`` when an event is
+        #: pushed and ``checker.after_step(when, seq, fn)`` after each
+        #: fired callback — the determinism sanitizer's step digest and
+        #: the invariant monitors both hang off this.  While None (the
+        #: default) the run loop pays one attribute read per event.
+        self.checker = None
 
     @property
     def now(self) -> float:
@@ -110,6 +117,9 @@ class Simulator:
         self._seq += 1
         self._live += 1
         heapq.heappush(self._heap, (when, self._seq, fn, args))
+        chk = self.checker
+        if chk is not None:
+            chk.on_schedule(when, self._seq, fn)
 
     def post(self, delay: float, fn: Callable[..., Any], *args: Any) -> None:
         """Schedule ``fn(*args)`` after ``delay`` µs; no handle (fast path)."""
@@ -138,6 +148,9 @@ class Simulator:
         self._seq += 1
         self._live += 1
         heapq.heappush(self._heap, (when, self._seq, handle))
+        chk = self.checker
+        if chk is not None:
+            chk.on_schedule(when, self._seq, fn)
         return handle
 
     def call_in(self, delay: float, fn: Callable[..., Any], *args: Any) -> "EventHandle":
@@ -174,6 +187,9 @@ class Simulator:
                     self._now = item[0]
                     self._live -= 1
                     item[2](*item[3])
+                    chk = self.checker
+                    if chk is not None:
+                        chk.after_step(item[0], item[1], item[2])
                     continue
                 handle = item[2]
                 if handle.cancelled:
@@ -182,10 +198,16 @@ class Simulator:
                     handle._args = ()
                     continue
                 self._now = item[0]
+                seq = item[1]
                 item = None     # drop the tuple's handle ref for the
                 self._live -= 1  # refcount check below
                 handle.fired = True
                 handle._fn(*handle._args)
+                # The checker sees the bound fn, never the handle: an
+                # extra handle reference would defeat the refcount guard.
+                chk = self.checker
+                if chk is not None:
+                    chk.after_step(self._now, seq, handle._fn)
                 # Recycle only when the loop holds the sole reference
                 # (local var + getrefcount argument == 2): a handle the
                 # caller kept must never be reused for a new event.
@@ -207,6 +229,9 @@ class Simulator:
                 self._now = item[0]
                 self._live -= 1
                 item[2](*item[3])
+                chk = self.checker
+                if chk is not None:
+                    chk.after_step(item[0], item[1], item[2])
                 return True
             handle = item[2]
             if handle.cancelled:
@@ -215,6 +240,9 @@ class Simulator:
             self._now = item[0]
             self._live -= 1
             handle.fire()
+            chk = self.checker
+            if chk is not None:
+                chk.after_step(item[0], item[1], handle._fn)
             return True
         return False
 

@@ -1,0 +1,23 @@
+"""Shared test configuration: pinned Hypothesis profiles.
+
+CI exports ``HYPOTHESIS_PROFILE=ci`` (see .github/workflows/ci.yml) to
+select the derandomized profile: examples are generated from a fixed
+seed (no flaky shrink sequences across runs) and the per-example
+deadline is disabled (shared CI runners have noisy wall-clocks; the
+simulation itself runs on virtual time, so deadlines only ever catch
+runner jitter).  Local runs keep the Hypothesis defaults unless the
+variable is set.
+"""
+
+import os
+
+try:
+    from hypothesis import settings
+except ImportError:          # hypothesis absent: property tests skip
+    settings = None
+
+if settings is not None:
+    settings.register_profile("ci", derandomize=True, deadline=None)
+    profile = os.environ.get("HYPOTHESIS_PROFILE")
+    if profile:
+        settings.load_profile(profile)

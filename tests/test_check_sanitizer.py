@@ -1,0 +1,244 @@
+"""Determinism sanitizer: replay comparison, divergence localization,
+hazard guards and the tie detector."""
+
+import random
+import time
+
+import pytest
+
+from repro.check import (
+    SanitizerSession,
+    StepRecord,
+    callback_id,
+    first_divergence,
+    replay_check,
+)
+from repro.sim import Rng, Simulator
+
+
+# -- callback identity -----------------------------------------------------------
+
+def _free_function():
+    pass
+
+
+class _Server:
+    def tick(self):
+        pass
+
+    def __call__(self):
+        pass
+
+
+def test_callback_id_is_stable_and_address_free():
+    import functools
+    assert callback_id(_free_function).endswith(
+        "test_check_sanitizer:_free_function")
+    server = _Server()
+    assert callback_id(server.tick).endswith(
+        "test_check_sanitizer:_Server.tick")
+    # partial unwraps to the underlying function
+    assert callback_id(functools.partial(_free_function, 1)) == (
+        callback_id(_free_function))
+    # two instances of the same class share an id (no addresses leak in)
+    assert callback_id(_Server()) == callback_id(_Server())
+
+
+def test_first_divergence_binary_search():
+    assert first_divergence([1, 2, 3], [1, 2, 3]) == 3
+    assert first_divergence([1, 2, 3], [1, 9, 8]) == 1
+    assert first_divergence([7], [8]) == 0
+    # prefix: divergence at the shorter length
+    assert first_divergence([1, 2], [1, 2, 3]) == 2
+
+
+# -- replay comparison -----------------------------------------------------------
+
+def _deterministic_run():
+    sim = Simulator()
+    rng = Rng(7)
+    done = []
+
+    def tick(n):
+        if n:
+            sim.post(rng.exponential(2.0), tick, n - 1)
+        else:
+            done.append(sim.now)
+
+    sim.post(0.0, tick, 50)
+    sim.run()
+    return done[0]
+
+
+def test_clean_replay_has_zero_divergences():
+    result = replay_check(_deterministic_run, replays=3)
+    assert result.ok and result.deterministic
+    assert result.divergent_step is None
+    assert len(set(result.digests)) == 1
+    assert len(set(result.steps)) == 1 and result.steps[0] == 51
+    assert result.hazards == []
+    assert "OK" in result.describe()
+
+
+def _unseeded_run():
+    sim = Simulator()
+    rng = random.Random()                      # the planted bug: no seed
+
+    def warmup():
+        sim.post(1.0, tick, 3)
+
+    def tick(n):
+        if n:
+            sim.post(rng.random() * 10.0, tick, n - 1)
+
+    sim.post(0.0, warmup)
+    sim.run()
+
+
+def test_planted_unseeded_rng_bug_is_localized():
+    result = replay_check(_unseeded_run, replays=2)
+    assert not result.ok and not result.deterministic
+    # the first event (warmup, t=0) agrees; the divergence is the first
+    # event whose *timing* the unseeded generator decided
+    assert result.divergent_step == 2
+    assert result.divergent_replay == 1
+    assert isinstance(result.expected, StepRecord)
+    assert result.expected.callback.endswith("_unseeded_run.<locals>.tick")
+    # the report names the scheduling parent too
+    assert result.expected.parent.endswith("tick")
+    assert "FAILED" in result.describe()
+
+
+def _module_random_run():
+    sim = Simulator()
+
+    def tick():
+        random.random()                        # hidden global generator
+
+    sim.post(1.0, tick)
+    sim.run()
+
+
+def test_module_random_hazard_attributed_to_callback():
+    with SanitizerSession() as session:
+        _module_random_run()
+    hazards = session.recorder.hazards
+    assert len(hazards) == 1
+    assert hazards[0].kind == "module-random"
+    assert hazards[0].detail == "random.random"
+    assert hazards[0].callback.endswith("_module_random_run.<locals>.tick")
+    assert hazards[0].sim_time == 1.0
+
+
+def test_wall_clock_hazard_detected_only_in_sim_context():
+    with SanitizerSession() as session:
+        time.time()                            # outside any run(): fine
+        sim = Simulator()
+        sim.post(2.0, time.time)
+        sim.run()
+    kinds = [(h.kind, h.detail) for h in session.recorder.hazards]
+    assert kinds == [("wall-clock", "time.time")]
+
+
+def test_hazards_fail_replay_check_even_when_digests_agree():
+    def seeded_but_dirty():
+        sim = Simulator()
+        sim.post(1.0, time.monotonic)
+        sim.run()
+
+    result = replay_check(seeded_but_dirty, replays=2)
+    assert result.deterministic                # same digest both replays...
+    assert not result.ok                       # ...but the hazard fails it
+    assert result.hazards
+
+
+def test_session_restores_patched_functions():
+    original_init = Simulator.__init__
+    original_time = time.time
+    original_random = random.random
+    with SanitizerSession():
+        assert Simulator.__init__ is not original_init
+        assert time.time is not original_time
+    assert Simulator.__init__ is original_init
+    assert time.time is original_time
+    assert random.random is original_random
+    with pytest.raises(RuntimeError):
+        with SanitizerSession() as outer:
+            with outer:                        # not reentrant
+                pass
+
+
+def test_same_timestamp_tie_guard_is_advisory():
+    def tied_run():
+        sim = Simulator()
+        hits = []
+
+        def receiver(tag):
+            hits.append(tag)
+
+        def fan_out():
+            # two same-time, same-callback, same-receiver schedules:
+            # ordering rests on insertion order alone
+            sim.post(5.0, receiver, "a")
+            sim.post(5.0, receiver, "b")
+
+        sim.post(0.0, fan_out)
+        sim.run()
+
+    result = replay_check(tied_run, replays=2)
+    assert result.ok                           # advisory, not a failure
+    assert len(result.ties) == 1
+    tie = result.ties[0]
+    assert tie.scheduled_by.endswith("fan_out")
+    assert tie.callback.endswith("receiver")
+    assert "insertion-order tie" in str(tie)
+
+
+def test_distinct_receivers_do_not_trip_the_tie_guard():
+    def untied_run():
+        sim = Simulator()
+        servers = [_Server(), _Server()]
+
+        def fan_out():
+            for server in servers:
+                sim.post(5.0, server.tick)
+
+        sim.post(0.0, fan_out)
+        sim.run()
+
+    result = replay_check(untied_run, replays=2)
+    assert result.ok and result.ties == []
+
+
+# -- real experiments ------------------------------------------------------------
+
+def test_fig16_point_replays_bit_identical():
+    from repro.experiments.scheduler_study import run_point
+    from repro.nic import LIQUIDIO_CN2350
+
+    result = replay_check(
+        lambda: run_point(LIQUIDIO_CN2350, "ipipe", "high", 0.9,
+                          duration_us=2_000.0, seed=1),
+        replays=2, keep_records=False)
+    assert result.ok, result.describe()
+    assert result.steps[0] > 1_000
+
+
+def test_fig5_point_replays_bit_identical():
+    from repro.experiments.characterization import traffic_manager_experiment
+
+    result = replay_check(
+        lambda: traffic_manager_experiment(frame_bytes=512, cores=6,
+                                           duration_us=1_500.0, seed=3),
+        replays=2, keep_records=False)
+    assert result.ok, result.describe()
+
+
+def test_chaos_scenario_replays_bit_identical_with_monitors():
+    from repro.exec.grids import chaos_point
+
+    result = replay_check(
+        lambda: chaos_point("rkv", seed=42, duration_us=5_000.0),
+        replays=2, keep_records=False, monitors=True, every=64)
+    assert result.ok, result.describe()
+    assert result.violations == []

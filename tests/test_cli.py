@@ -1,8 +1,11 @@
 """Tests for the ``python -m repro`` command-line interface."""
 
+import json
+import textwrap
+
 import pytest
 
-from repro.cli import EXPERIMENTS, main
+from repro.cli import CHECK_TARGETS, EXPERIMENTS, main
 
 
 def test_list_prints_every_experiment(capsys):
@@ -42,3 +45,112 @@ def test_quick_fig17_runs(capsys):
     assert main(["fig17", "--quick"]) == 0
     out = capsys.readouterr().out
     assert "w/o iPipe" in out
+
+
+# -- repro lint -----------------------------------------------------------------
+
+def test_lint_clean_on_package_exits_zero(capsys):
+    assert main(["lint"]) == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_lint_findings_exit_one(capsys, tmp_path):
+    path = tmp_path / "dirty.py"
+    path.write_text(textwrap.dedent("""\
+        import random
+        def f():
+            return random.random()
+    """))
+    assert main(["lint", str(path)]) == 1
+    out = capsys.readouterr().out
+    assert "[module-random]" in out and "1 finding(s)" in out
+
+
+def test_lint_missing_path_exits_two(capsys, tmp_path):
+    assert main(["lint", str(tmp_path / "nope")]) == 2
+    assert "no such path" in capsys.readouterr().err
+
+
+def test_lint_rules_listing(capsys):
+    assert main(["lint", "--rules"]) == 0
+    out = capsys.readouterr().out
+    for rule in ("wall-clock", "module-random", "unordered-iter"):
+        assert rule in out
+
+
+# -- repro check ----------------------------------------------------------------
+
+def test_check_quick_fig16_exits_zero(capsys):
+    assert main(["check", "fig16", "--quick", "--replay", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "determinism: OK" in out
+
+
+def test_check_rejects_single_replay(capsys):
+    with pytest.raises(SystemExit):
+        main(["check", "fig16", "--quick", "--replay", "1"])
+
+
+def test_check_targets_cover_scheduler_dataplane_and_chaos():
+    assert set(CHECK_TARGETS) == {
+        "fig5", "fig16", "chaos-rkv", "chaos-dt", "chaos-rta"}
+
+
+# -- repro bench --check --------------------------------------------------------
+
+_CANNED_BENCH = {
+    "meta": {},
+    "kernel": {
+        "post_chain_eps": 1_000_000.0,
+        "seed_chain_eps": 800_000.0,
+        "speedup_post_vs_seed": 1.25,
+        "speedup_cancel_vs_seed": 1.5,
+        "cancel_heavy_peak_heap": 100.0,
+        "cancel_heavy_seed_peak_heap": 200.0,
+    },
+    "sweep": {
+        "points": 4, "pool": 2, "pool_speedup": 1.8,
+        "cached_speedup": 5.0, "cache_hit_rate": 1.0, "identical": True,
+    },
+}
+
+
+def test_bench_check_regression_gate_failure_path(capsys, tmp_path,
+                                                  monkeypatch):
+    import repro.exec.bench as bench_mod
+    monkeypatch.setattr(bench_mod, "run_bench",
+                        lambda **kwargs: _CANNED_BENCH)
+    baseline = tmp_path / "baseline.json"
+    # baseline far above the canned result: the 30% gate must trip
+    inflated = {"kernel": {"post_chain_eps": 10_000_000.0,
+                           "seed_chain_eps": 800_000.0}}
+    baseline.write_text(json.dumps(inflated))
+    out_path = tmp_path / "BENCH_sweep.json"
+    code = main(["bench", "--out", str(out_path),
+                 "--check", str(baseline)])
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "PERF REGRESSION" in out and "post_chain_eps" in out
+    # fresh results are still written even when the gate fails
+    assert json.loads(out_path.read_text())["kernel"]["post_chain_eps"] == (
+        1_000_000.0)
+
+
+def test_bench_check_passing_gate_exits_zero(capsys, tmp_path, monkeypatch):
+    import repro.exec.bench as bench_mod
+    monkeypatch.setattr(bench_mod, "run_bench",
+                        lambda **kwargs: _CANNED_BENCH)
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text(json.dumps(
+        {"kernel": {"post_chain_eps": 1_000_000.0}}))
+    code = main(["bench", "--out", str(tmp_path / "out.json"),
+                 "--check", str(baseline)])
+    assert code == 0
+    assert "no regression" in capsys.readouterr().out
+
+
+def test_bench_check_help_states_exit_codes(capsys):
+    with pytest.raises(SystemExit):
+        main(["bench", "--help"])
+    out = " ".join(capsys.readouterr().out.split())   # undo help wrapping
+    assert "Exit code 0" in out and "Exit code 1" in out
