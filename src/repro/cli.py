@@ -13,13 +13,19 @@ Usage::
     python -m repro bench --out BENCH_sweep.json
     python -m repro check --replay 2 fig16 --quick
     python -m repro lint
+    python -m repro scenario list
+    python -m repro scenario validate
+    python -m repro scenario run multi-rack-rkv --duration-us 5000
 
 ``--jobs N`` fans a figure's grid out to N worker processes through the
 sweep executor (results are bit-identical to a serial run); ``sweep``
 additionally caches point results on disk so re-runs only recompute
 dirty points; ``bench`` emits the perf baseline ``BENCH_sweep.json``;
 ``check`` replays one experiment under the determinism sanitizer and
-``lint`` runs the static nondeterminism-hazard pass (docs/CHECKING.md).
+``lint`` runs the static nondeterminism-hazard pass (docs/CHECKING.md);
+``scenario`` lists, validates, and runs declarative deployment specs
+(docs/SCENARIOS.md) — shipped specs are also ``check`` targets as
+``scenario-<name>``.
 
 ``--quick`` shrinks simulation durations ~4x for a fast look; the
 benchmark suite (``pytest benchmarks/ --benchmark-only``) remains the
@@ -29,6 +35,7 @@ canonical reproduction run.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Callable, Dict
 
@@ -341,10 +348,23 @@ def _cmd_bench(argv) -> int:
     return 0
 
 
+def _scenario_names() -> tuple:
+    """Shipped scenario spec names, found on disk so listing them does
+    not import the (heavy) scenario layer at CLI start."""
+    spec_dir = os.path.join(os.path.dirname(__file__), "scenario", "specs")
+    if not os.path.isdir(spec_dir):
+        return ()
+    return tuple(sorted(
+        os.path.splitext(entry)[0]
+        for entry in os.listdir(spec_dir) if entry.endswith(".json")))
+
+
 #: ``repro check`` targets: representative runs covering the scheduler
-#: study (fig16), the characterization dataplane (fig5), and the three
-#: chaos scenarios (full fault-injection + recovery paths).
-CHECK_TARGETS = ("fig5", "fig16", "chaos-rkv", "chaos-dt", "chaos-rta")
+#: study (fig16), the characterization dataplane (fig5), the three
+#: chaos scenarios (full fault-injection + recovery paths), and every
+#: shipped scenario spec (as ``scenario-<name>``).
+CHECK_TARGETS = ("fig5", "fig16", "chaos-rkv", "chaos-dt", "chaos-rta"
+                 ) + tuple(f"scenario-{name}" for name in _scenario_names())
 
 
 def _check_run_fn(target: str, quick: bool, seed: int | None):
@@ -369,6 +389,14 @@ def _check_run_fn(target: str, quick: bool, seed: int | None):
             kwargs["duration_us"] = 3_000.0
         return lambda: traffic_manager_experiment(frame_bytes=512, cores=6,
                                                   **kwargs)
+    if target.startswith("scenario-"):
+        import dataclasses
+        from .scenario import load_shipped, run_scenario
+        spec = load_shipped(target[len("scenario-"):])
+        if seed is not None:
+            spec = dataclasses.replace(spec, seed=seed)
+        duration = 5_000.0 if quick else None
+        return lambda: run_scenario(spec, duration_us=duration).fingerprint()
     workload = target.split("-", 1)[1]
     from .exec.grids import chaos_point
     kwargs = {"seed": 42 if seed is None else seed}
@@ -411,6 +439,87 @@ def _cmd_check(argv) -> int:
           + (" --monitors" if args.monitors else ""))
     print(result.describe())
     return 0 if result.ok else 1
+
+
+def _resolve_spec(ref: str):
+    """A spec from a shipped name or a ``.json``/``.toml`` path."""
+    from .scenario import from_file, load_shipped
+    if ref.endswith(".json") or ref.endswith(".toml") or os.sep in ref:
+        return from_file(ref)
+    return load_shipped(ref)
+
+
+def _cmd_scenario(argv) -> int:
+    """``repro scenario``: list, validate, and run declarative specs."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro scenario",
+        description="Work with declarative deployment scenarios "
+                    "(docs/SCENARIOS.md). Specs ship under "
+                    "repro/scenario/specs/ and load from JSON or TOML.")
+    sub = parser.add_subparsers(dest="cmd", required=True)
+    sub.add_parser("list", help="shipped scenario specs with a summary")
+    p_val = sub.add_parser(
+        "validate", help="validate spec files (default: all shipped)")
+    p_val.add_argument("specs", nargs="*", metavar="SPEC",
+                       help="shipped names or .json/.toml paths")
+    p_run = sub.add_parser("run", help="build one scenario and run it")
+    p_run.add_argument("spec", metavar="SPEC",
+                       help="shipped name or .json/.toml path")
+    p_run.add_argument("--duration-us", type=float, default=None,
+                       help="override the spec's horizon")
+    args = parser.parse_args(argv)
+
+    if args.cmd == "list":
+        from .scenario import load_shipped, shipped_specs
+        for name in shipped_specs():
+            spec = load_shipped(name)
+            servers = sum(len(r.servers) for r in spec.racks)
+            apps = ",".join(a.kind for a in spec.apps) or "none"
+            print(f"{name}: {len(spec.racks)} rack(s), {servers} server(s), "
+                  f"apps [{apps}], {len(spec.fleets)} fleet(s), "
+                  f"{len(spec.faults)} fault(s)")
+            if spec.description:
+                print(f"  {spec.description}")
+        return 0
+
+    if args.cmd == "validate":
+        from .scenario import ScenarioError, shipped_specs
+        refs = args.specs or shipped_specs()
+        if not refs:
+            print("no specs to validate", file=sys.stderr)
+            return 2
+        failures = 0
+        for ref in refs:
+            try:
+                spec = _resolve_spec(ref)
+                spec.validate()
+            except (ScenarioError, OSError, KeyError) as exc:
+                failures += 1
+                print(f"FAIL {ref}: {exc}")
+            else:
+                print(f"ok   {ref} ({spec.name})")
+        return 1 if failures else 0
+
+    from .scenario import run_scenario
+    spec = _resolve_spec(args.spec)
+    spec.validate()
+    result = run_scenario(spec, duration_us=args.duration_us)
+    print(f"scenario {result.name} (seed {result.seed}, "
+          f"{result.duration_us:.0f}µs)")
+    print(f"  sent {result.sent}, completed {result.completed} "
+          f"({result.throughput_mops:.3f} Mops)")
+    if result.completed:
+        print(f"  latency mean {result.mean_latency_us:.3f}µs "
+              f"p99 {result.p99_latency_us:.3f}µs")
+    for client, count in sorted(result.client_received.items()):
+        print(f"  client {client}: {count} replies")
+    for switch, (fwd, dropped) in sorted(result.switch_counters.items()):
+        print(f"  switch {switch}: forwarded {fwd}, dropped {dropped}")
+    if result.faults_injected or result.recoveries:
+        print(f"  faults {result.faults_injected}, "
+              f"recoveries {result.recoveries}")
+    print(f"  fingerprint {result.fingerprint()}")
+    return 0
 
 
 def _cmd_lint(argv) -> int:
@@ -488,6 +597,8 @@ def main(argv=None) -> int:
         return _cmd_check(argv[1:])
     if argv and argv[0] == "lint":
         return _cmd_lint(argv[1:])
+    if argv and argv[0] == "scenario":
+        return _cmd_scenario(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate tables/figures from the iPipe paper.")

@@ -16,7 +16,10 @@ fingerprint tests compare.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from importlib import import_module
+from itertools import product
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from .sweep import SweepPoint
 
@@ -60,56 +63,179 @@ def fig18_point(**kwargs) -> List:
     return breakdown_rows(run_migration_breakdown(**kwargs))
 
 
-# -- grid builders ------------------------------------------------------------
+# -- the spec-driven grid constructor -----------------------------------------
+
+@dataclass(frozen=True)
+class GridDef:
+    """One figure grid as data: point function, axes, per-cell kwargs.
+
+    ``axes`` maps (quick, overrides) to ordered ``(name, values)`` pairs;
+    cells iterate the cartesian product with the first axis outermost —
+    the loop order of the original hand-written builders.  ``key_order``
+    permutes axis names into the SweepPoint key tuple when the original
+    key order differed from the loop order.  ``cell`` maps one cell's
+    axis values to the exact kwargs dict the point function receives.
+    """
+
+    name: str
+    resolve: Callable[[], Callable]
+    axes: Callable[[bool, Dict], List[Tuple[str, Sequence]]]
+    cell: Callable[[Dict, bool, Dict], Dict]
+    key_order: Optional[Tuple[str, ...]] = None
+
+
+def build_grid(name: str, quick: bool = False, **overrides) -> List[SweepPoint]:
+    """Materialise one grid definition into SweepPoint cells."""
+    gd = GRID_DEFS[name]
+    fn = gd.resolve()
+    axes = gd.axes(quick, overrides)
+    axis_names = [axis for axis, _ in axes]
+    key_names = list(gd.key_order or axis_names)
+    points = []
+    for combo in product(*[values for _, values in axes]):
+        cell = dict(zip(axis_names, combo))
+        key = (name, *(cell[axis] for axis in key_names))
+        points.append(SweepPoint(key, fn, gd.cell(cell, quick, overrides)))
+    return points
+
+
+def _pick(overrides: Dict, key: str, quick: bool, quick_val, full_val):
+    value = overrides.get(key)
+    if value is not None:
+        return value
+    return quick_val if quick else full_val
+
+
+def _resolve(module: str, attr: str) -> Callable[[], Callable]:
+    def load():
+        mod = import_module(f"repro.experiments.{module}")
+        return getattr(mod, attr)
+    return load
+
+
+def _fig16_nic():
+    from ..nic import LIQUIDIO_CN2350
+    return LIQUIDIO_CN2350
+
+
+def _chaos_cell(cell: Dict, quick: bool, o: Dict) -> Dict:
+    kwargs: Dict = {"workload": cell["workload"], "seed": cell["seed"],
+                    "trace": o.get("trace", False)}
+    duration = o.get("duration_us")
+    if duration is not None:
+        kwargs["duration_us"] = duration
+    elif quick:
+        kwargs["duration_us"] = 25_000.0
+    return kwargs
+
+
+GRID_DEFS: Dict[str, GridDef] = {
+    "fig5": GridDef(
+        name="fig5",
+        resolve=_resolve("characterization", "traffic_manager_experiment"),
+        axes=lambda quick, o: [
+            ("size", o.get("sizes") or (64, 512, 1024, 1500)),
+            ("cores", o.get("cores") or (6, 12)),
+        ],
+        cell=lambda c, quick, o: dict(
+            frame_bytes=c["size"], cores=c["cores"],
+            duration_us=_pick(o, "duration_us", quick, 8_000.0, 25_000.0))),
+    "fig13": GridDef(
+        name="fig13",
+        resolve=_resolve("applications", "run_app"),
+        axes=lambda quick, o: [
+            ("size", _pick(o, "sizes", quick,
+                           (512,), (64, 256, 512, 1024))),
+            ("system", ("dpdk", "ipipe")),
+            ("app", ("rta", "dt", "rkv")),
+        ],
+        key_order=("system", "app", "size"),
+        cell=lambda c, quick, o: dict(
+            system=c["system"], app=c["app"], packet_size=c["size"],
+            clients=_FIG13_CLIENTS[c["size"]],
+            duration_us=_pick(o, "duration_us", quick,
+                              8_000.0, 15_000.0))),
+    "fig14": GridDef(
+        name="fig14",
+        resolve=_resolve("applications", "run_app"),
+        axes=lambda quick, o: [
+            ("system", ("dpdk", "ipipe")),
+            ("app", ("rta", "dt", "rkv")),
+            ("clients", _pick(o, "client_counts", quick,
+                              (2, 16), (2, 8, 24, 64))),
+        ],
+        cell=lambda c, quick, o: dict(
+            system=c["system"], app=c["app"], packet_size=512,
+            clients=c["clients"],
+            duration_us=_pick(o, "duration_us", quick,
+                              8_000.0, 12_000.0))),
+    "fig16": GridDef(
+        name="fig16",
+        resolve=_resolve("scheduler_study", "run_point"),
+        axes=lambda quick, o: [
+            ("dispersion", o.get("dispersions") or ("low", "high")),
+            ("policy", o.get("policies")
+             or ("fcfs", "drr", "ipipe")),
+            ("load", _pick(o, "loads", quick,
+                           (0.5, 0.9), (0.3, 0.5, 0.7, 0.9))),
+        ],
+        cell=lambda c, quick, o: dict(
+            spec=_fig16_nic(), policy=c["policy"],
+            dispersion=c["dispersion"], load=c["load"],
+            duration_us=_pick(o, "duration_us", quick,
+                              30_000.0, 100_000.0),
+            seed=o.get("seed", 1))),
+    "fig17": GridDef(
+        name="fig17",
+        resolve=_resolve("applications", "run_app"),
+        axes=lambda quick, o: [
+            ("frac", o.get("load_fractions") or (0.5, 1.0)),
+            ("system", ("dpdk", "ipipe-hostonly")),
+        ],
+        key_order=("system", "frac"),
+        cell=lambda c, quick, o: dict(
+            system=c["system"], app="rkv", packet_size=512,
+            clients=max(1, int(o.get("base_clients", 16) * c["frac"])),
+            duration_us=_pick(o, "duration_us", quick,
+                              8_000.0, 15_000.0))),
+    "fig18": GridDef(
+        name="fig18",
+        resolve=lambda: fig18_point,
+        axes=lambda quick, o: [],
+        cell=lambda c, quick, o: dict(
+            warmup_us=2_000.0 if quick else 5_000.0)),
+    "chaos": GridDef(
+        name="chaos",
+        resolve=lambda: chaos_point,
+        axes=lambda quick, o: [
+            ("workload", o.get("workloads") or ("rkv", "dt", "rta")),
+            ("seed", o.get("seeds") or (42,)),
+        ],
+        cell=_chaos_cell),
+}
+
+
+# -- the historical builder names, now thin spec wrappers ---------------------
 
 def fig5_grid(quick: bool = False,
               sizes: Sequence[int] = (64, 512, 1024, 1500),
               cores: Sequence[int] = (6, 12),
               duration_us: Optional[float] = None) -> List[SweepPoint]:
-    from ..experiments.characterization import traffic_manager_experiment
-    if duration_us is None:
-        duration_us = 8_000.0 if quick else 25_000.0
-    return [
-        SweepPoint(("fig5", size, n), traffic_manager_experiment,
-                   dict(frame_bytes=size, cores=n, duration_us=duration_us))
-        for size in sizes for n in cores
-    ]
+    return build_grid("fig5", quick, sizes=sizes, cores=cores,
+                      duration_us=duration_us)
 
 
 def fig13_grid(quick: bool = False,
                sizes: Optional[Sequence[int]] = None,
                duration_us: Optional[float] = None) -> List[SweepPoint]:
-    from ..experiments.applications import run_app
-    if duration_us is None:
-        duration_us = 8_000.0 if quick else 15_000.0
-    if sizes is None:
-        sizes = (512,) if quick else (64, 256, 512, 1024)
-    return [
-        SweepPoint(("fig13", system, app, size), run_app,
-                   dict(system=system, app=app, packet_size=size,
-                        clients=_FIG13_CLIENTS[size], duration_us=duration_us))
-        for size in sizes
-        for system in ("dpdk", "ipipe")
-        for app in ("rta", "dt", "rkv")
-    ]
+    return build_grid("fig13", quick, sizes=sizes, duration_us=duration_us)
 
 
 def fig14_grid(quick: bool = False,
                client_counts: Optional[Sequence[int]] = None,
                duration_us: Optional[float] = None) -> List[SweepPoint]:
-    from ..experiments.applications import run_app
-    if duration_us is None:
-        duration_us = 8_000.0 if quick else 12_000.0
-    if client_counts is None:
-        client_counts = (2, 16) if quick else (2, 8, 24, 64)
-    return [
-        SweepPoint(("fig14", system, app, clients), run_app,
-                   dict(system=system, app=app, packet_size=512,
-                        clients=clients, duration_us=duration_us))
-        for system in ("dpdk", "ipipe")
-        for app in ("rta", "dt", "rkv")
-        for clients in client_counts
-    ]
+    return build_grid("fig14", quick, client_counts=client_counts,
+                      duration_us=duration_us)
 
 
 def fig16_grid(quick: bool = False,
@@ -118,45 +244,20 @@ def fig16_grid(quick: bool = False,
                policies: Optional[Sequence[str]] = None,
                duration_us: Optional[float] = None,
                seed: int = 1) -> List[SweepPoint]:
-    from ..experiments.scheduler_study import POLICIES, run_point
-    from ..nic import LIQUIDIO_CN2350
-    if duration_us is None:
-        duration_us = 30_000.0 if quick else 100_000.0
-    if loads is None:
-        loads = (0.5, 0.9) if quick else (0.3, 0.5, 0.7, 0.9)
-    if policies is None:
-        policies = POLICIES
-    return [
-        SweepPoint(("fig16", dispersion, policy, load), run_point,
-                   dict(spec=LIQUIDIO_CN2350, policy=policy,
-                        dispersion=dispersion, load=load,
-                        duration_us=duration_us, seed=seed))
-        for dispersion in dispersions
-        for policy in policies
-        for load in loads
-    ]
+    return build_grid("fig16", quick, dispersions=dispersions, loads=loads,
+                      policies=policies, duration_us=duration_us, seed=seed)
 
 
 def fig17_grid(quick: bool = False,
                load_fractions: Sequence[float] = (0.5, 1.0),
                duration_us: Optional[float] = None,
                base_clients: int = 16) -> List[SweepPoint]:
-    from ..experiments.applications import run_app
-    if duration_us is None:
-        duration_us = 8_000.0 if quick else 15_000.0
-    return [
-        SweepPoint(("fig17", system, frac), run_app,
-                   dict(system=system, app="rkv", packet_size=512,
-                        clients=max(1, int(base_clients * frac)),
-                        duration_us=duration_us))
-        for frac in load_fractions
-        for system in ("dpdk", "ipipe-hostonly")
-    ]
+    return build_grid("fig17", quick, load_fractions=load_fractions,
+                      duration_us=duration_us, base_clients=base_clients)
 
 
 def fig18_grid(quick: bool = False) -> List[SweepPoint]:
-    warmup = 2_000.0 if quick else 5_000.0
-    return [SweepPoint(("fig18",), fig18_point, dict(warmup_us=warmup))]
+    return build_grid("fig18", quick)
 
 
 def chaos_grid(quick: bool = False,
@@ -164,18 +265,8 @@ def chaos_grid(quick: bool = False,
                seeds: Sequence[int] = (42,),
                trace: bool = False,
                duration_us: Optional[float] = None) -> List[SweepPoint]:
-    points = []
-    for workload in workloads:
-        for seed in seeds:
-            kwargs: Dict = {"seed": seed, "trace": trace}
-            if duration_us is not None:
-                kwargs["duration_us"] = duration_us
-            elif quick:
-                kwargs["duration_us"] = 25_000.0
-            points.append(SweepPoint(("chaos", workload, seed),
-                                     chaos_point,
-                                     dict(workload=workload, **kwargs)))
-    return points
+    return build_grid("chaos", quick, workloads=workloads, seeds=seeds,
+                      trace=trace, duration_us=duration_us)
 
 
 GRIDS = {

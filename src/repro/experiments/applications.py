@@ -16,24 +16,22 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..apps.dt import DtCoordinatorNode, DtParticipantNode
-from ..apps.rkv import RkvNode
-from ..apps.rta import RtaWorkerNode
-from ..baselines import DpdkRuntime, FloemRuntime
-from ..core import SchedulerConfig
-from ..core.actor import Location
-from ..host import HostMachine
-from ..net import ClosedLoopGenerator, Network
-from ..nic import (
-    LIQUIDIO_CN2350,
-    LIQUIDIO_CN2360,
-    NicSpec,
-    SmartNic,
-    host_for,
+from ..baselines import DpdkRuntime
+from ..nic import LIQUIDIO_CN2350, LIQUIDIO_CN2360, NicSpec
+from ..scenario import (
+    AppSpec,
+    ClientSpec,
+    FabricSpec,
+    FleetSpec,
+    RackSpec,
+    ScenarioSpec,
+    ServerSpec,
+    build,
 )
-from ..core.runtime import IPipeRuntime
-from ..sim import Rng, Simulator
-from ..workloads import KvWorkload, TwitterWorkload, TxnWorkload
+from ..workloads import value_bytes_for_packet
+
+#: each paper application's request stream (§5.1)
+APP_WORKLOADS = {"rta": "twitter", "dt": "txn", "rkv": "kv"}
 
 APPS = ("rta", "dt", "rkv")
 #: Figure 13's five measured roles → (app, server index).
@@ -71,61 +69,32 @@ class AppRunResult:
         return self.throughput_mops / cores
 
 
-def _make_runtime(system: str, sim: Simulator, network: Network, name: str,
-                  nic_spec: NicSpec, host_workers: Optional[int] = None):
-    host = HostMachine(sim, host_for(nic_spec), name=name)
-    if host_workers is None:
-        host_workers = host_for(nic_spec).cores
-    if system == "ipipe":
-        nic = SmartNic(sim, nic_spec, name=f"{name}.nic")
-        return IPipeRuntime(sim, nic, host, network, name,
-                            config=SchedulerConfig(),
-                            host_workers=host_workers)
-    if system == "ipipe-hostonly":
-        nic = SmartNic(sim, nic_spec, name=f"{name}.nic")
-        return IPipeRuntime(sim, nic, host, network, name,
-                            config=SchedulerConfig(migration_enabled=False),
-                            host_workers=host_workers, host_only=True)
-    if system == "floem":
-        nic = SmartNic(sim, nic_spec, name=f"{name}.nic")
-        return FloemRuntime(sim, nic, host, network, name,
-                            host_workers=host_workers)
-    if system == "dpdk":
-        return DpdkRuntime(sim, host, network, name, workers=host_workers,
-                           link_bandwidth_gbps=nic_spec.bandwidth_gbps)
-    raise ValueError(f"unknown system {system!r}")
-
-
-def _deploy(system: str, app: str, sim: Simulator, network: Network,
-            nic_spec: NicSpec, packet_size: int, prefill_keys: int = 4000):
-    """Build the 3-server deployment; returns (runtimes, workload, dst)."""
-    names = [f"s{i}" for i in range(3)]
-    runtimes = {n: _make_runtime(system, sim, network, n, nic_spec)
-                for n in names}
-    if app == "rta":
-        for n in names:
-            RtaWorkerNode(runtimes[n], aggregate_node=names[0])
-        workload = TwitterWorkload(packet_size=packet_size)
-    elif app == "dt":
-        DtCoordinatorNode(runtimes[names[0]], [names[1], names[2]])
-        DtParticipantNode(runtimes[names[1]])
-        DtParticipantNode(runtimes[names[2]])
-        workload = TxnWorkload(packet_size=packet_size)
-    elif app == "rkv":
-        workload = KvWorkload(packet_size=packet_size)
-        for n in names:
-            node = RkvNode(runtimes[n], [p for p in names if p != n],
-                           initial_leader=names[0])
-            # steady state: the hottest keys are memtable-resident (the
-            # paper measures warmed-up systems)
-            node.prefill(prefill_keys, workload.value_bytes)
-    else:
+def deployment_spec(system: str, app: str, nic_spec: NicSpec,
+                    packet_size: int, clients: int, duration_us: float,
+                    seed: int, prefill_keys: int = 4000) -> ScenarioSpec:
+    """The §5.1 deployment as data: three servers, one closed-loop fleet."""
+    if app not in APP_WORKLOADS:
         raise ValueError(f"unknown app {app!r}")
-    return runtimes, workload
-
-
-def _route_payload(payload: Dict) -> str:
-    return payload["kind"]
+    options = []
+    if app == "rkv":
+        # steady state: the hottest keys are memtable-resident (the
+        # paper measures warmed-up systems)
+        options = [("prefill_keys", prefill_keys),
+                   ("prefill_value_bytes",
+                    value_bytes_for_packet(packet_size))]
+    return ScenarioSpec(
+        name=f"{system}-{app}", seed=seed, duration_us=duration_us,
+        racks=(RackSpec(
+            name="rack0",
+            servers=tuple(ServerSpec(name=f"s{i}", nic=nic_spec,
+                                     system=system) for i in range(3)),
+            clients=(ClientSpec("client"),)),),
+        fabric=FabricSpec(bandwidth_gbps=nic_spec.bandwidth_gbps),
+        apps=(AppSpec(kind=app, servers=("s0", "s1", "s2"), leader="s0",
+                      options=tuple(options)),),
+        fleets=(FleetSpec(client="client", dst="s0", mode="closed",
+                          clients=clients, size=packet_size,
+                          workload=APP_WORKLOADS[app], seed=seed),))
 
 
 def run_app(system: str, app: str, nic_spec: NicSpec = LIQUIDIO_CN2350,
@@ -134,33 +103,12 @@ def run_app(system: str, app: str, nic_spec: NicSpec = LIQUIDIO_CN2350,
             warmup_fraction: float = 0.25,
             prefill_keys: int = 4000) -> AppRunResult:
     """One deployment driven closed-loop at its natural max throughput."""
-    sim = Simulator()
-    network = Network(sim, bandwidth_gbps=nic_spec.bandwidth_gbps)
-    runtimes, workload = _deploy(system, app, sim, network, nic_spec,
-                                 packet_size, prefill_keys=prefill_keys)
-
-    gen = ClosedLoopGenerator(
-        sim, send=network.send, src="client", dst="s0",
-        clients=clients, size=packet_size,
-        payload_factory=lambda i: workload.next_request(i),
-        rng=Rng(seed))
-    network.attach("client", gen.on_reply)
-
-    # requests carry their own routing kind in the payload
-    for runtime in runtimes.values():
-        original = runtime.on_packet
-
-        def routed(packet, original=original):
-            if isinstance(packet.payload, dict) and "kind" in packet.payload \
-                    and "payload" not in packet.payload:
-                packet.kind = packet.payload["kind"]
-            original(packet)
-
-        if hasattr(runtime, "nic") and hasattr(runtime.nic, "packet_handler") \
-                and not isinstance(runtime, DpdkRuntime):
-            runtime.nic.packet_handler = routed
-        else:
-            network.switch._egress[runtime.node_name].receiver = routed
+    scenario = build(deployment_spec(system, app, nic_spec, packet_size,
+                                     clients, duration_us, seed,
+                                     prefill_keys=prefill_keys))
+    sim = scenario.sim
+    runtimes = {n: s.runtime for n, s in scenario.servers.items()}
+    gen = scenario.generators[0]
 
     warmup = duration_us * warmup_fraction
     sim.run(until=warmup)

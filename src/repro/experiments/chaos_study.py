@@ -32,20 +32,20 @@ from typing import Dict, List, Optional, Tuple
 
 from ..apps.dt import DtCoordinatorNode, DtParticipantNode
 from ..apps.rkv import RkvNode
-from ..apps.rta import RtaWorkerNode
-from ..core import Message, SchedulerConfig, recovery_snapshot
+from ..core import Message, recovery_snapshot
 from ..net import Packet
-from ..nic import LIQUIDIO_CN2350
 from ..obs import TracePlane
-from ..sim import (
-    FaultKind,
-    FaultPlane,
-    FaultSpec,
-    RecoveryPolicy,
-    Timeout,
-    spawn,
+from ..scenario import (
+    AppSpec,
+    ClientSpec,
+    FaultDecl,
+    ObsSpec,
+    RackSpec,
+    ScenarioSpec,
+    ServerSpec,
+    build,
 )
-from .testbed import Testbed, make_testbed
+from ..sim import FaultKind, FaultPlane, Timeout, spawn
 
 #: extra drain time granted after the nominal run when requests are
 #: still outstanding (recovery in progress)
@@ -64,13 +64,19 @@ class ChaosClient:
     """
 
     def __init__(self, sim, network, name: str = "client",
-                 timeout_us: float = 2_000.0, max_attempts: int = 20):
+                 timeout_us: float = 2_000.0, max_attempts: int = 20,
+                 port=None):
         self.sim = sim
         self.network = network
         self.name = name
         self.timeout_us = timeout_us
         self.max_attempts = max_attempts
-        network.attach(name, self._receive)
+        if port is not None:
+            # scenario-built client: the ClientPort owns the downlink;
+            # untagged replies (ours) fall through to its sinks
+            port.add_sink(self._receive)
+        else:
+            network.attach(name, self._receive)
         self.outstanding: Dict[int, Dict] = {}
         self.replies: Dict[int, Packet] = {}
         self.latencies: List[float] = []
@@ -204,19 +210,27 @@ class ChaosReport:
         return "\n".join(lines)
 
 
-def _run_until_answered(bed: Testbed, client: ChaosClient,
+def _run_until_answered(scenario, client: ChaosClient,
                         duration_us: float) -> None:
-    bed.sim.run(until=duration_us)
+    scenario.sim.run(until=duration_us)
     chunks = 0
     while client.lost and chunks < MAX_DRAIN_CHUNKS:
-        bed.sim.run(until=bed.sim.now + DRAIN_CHUNK_US)
+        scenario.sim.run(until=scenario.sim.now + DRAIN_CHUNK_US)
         chunks += 1
 
 
-def _collect(bed: Testbed, plane: FaultPlane) -> Tuple[Dict, List, Dict]:
+def _collect(scenario, plane: FaultPlane) -> Tuple[Dict, List, Dict]:
     recovery = {name: recovery_snapshot(server.runtime)
-                for name, server in sorted(bed.servers.items())}
+                for name, server in sorted(scenario.servers.items())}
     return dict(plane.counts), list(plane.schedule_log), recovery
+
+
+def _chaos_servers(names, host_workers: int = 2) -> Tuple[ServerSpec, ...]:
+    """Chaos deployments pin migration off and run reliable channels."""
+    return tuple(
+        ServerSpec(name=n, host_workers=host_workers, reliable=True,
+                   scheduler=(("migration_enabled", False),))
+        for n in names)
 
 
 def _finish_trace(tplane: Optional[TracePlane]) -> Dict[str, Dict[str, float]]:
@@ -254,31 +268,31 @@ def run_rkv_chaos(seed: int = 42, loss: float = 0.02,
     the leader's NIC→host ring, with reliable channels and actor restart
     enabled — and still zero client-visible request loss.
     """
-    bed = make_testbed(seed=seed)
-    tplane = TracePlane(bed.sim) if trace else None
-    plane = FaultPlane(bed.sim, seed=seed)
-    plane.add(FaultSpec(FaultKind.LINK_LOSS, target="*", probability=loss))
-    plane.add(FaultSpec(FaultKind.DMA_TORN, target="s0.chan.*",
-                        every_nth=torn_every_nth))
-    if crash_memtable:
-        plane.add(FaultSpec(FaultKind.ACTOR_CRASH, target="memtable",
-                            node="s0", at_us=(duration_us * 0.25,)))
-
     nodes = ("s0", "s1", "s2")
-    policy = RecoveryPolicy(restart_delay_us=100.0)
-    rkv: Dict[str, RkvNode] = {}
-    for name in nodes:
-        server = bed.add_server(
-            name, LIQUIDIO_CN2350,
-            config=SchedulerConfig(migration_enabled=False),
-            host_workers=2, reliable=True, fault_plane=plane,
-            recovery=policy)
-        peers = [n for n in nodes if n != name]
-        rkv[name] = RkvNode(server.runtime, peers, initial_leader=nodes[0],
-                            memtable_limit=256 * 1024)
-    # the client attaches after the servers so its links exist for loss too
-    client = ChaosClient(bed.sim, bed.network)
-    plane.wire_network(bed.network)
+    faults = [
+        FaultDecl(kind=FaultKind.LINK_LOSS, target="*", probability=loss),
+        FaultDecl(kind=FaultKind.DMA_TORN, target="s0.chan.*",
+                  every_nth=torn_every_nth),
+    ]
+    if crash_memtable:
+        faults.append(FaultDecl(kind=FaultKind.ACTOR_CRASH,
+                                target="memtable", node="s0",
+                                at_us=(duration_us * 0.25,)))
+    spec = ScenarioSpec(
+        name="chaos-rkv", seed=seed, duration_us=duration_us,
+        racks=(RackSpec(name="rack0", servers=_chaos_servers(nodes),
+                        clients=(ClientSpec("client"),)),),
+        apps=(AppSpec(kind="rkv", servers=nodes, leader="s0",
+                      options=(("memtable_limit", 256 * 1024),)),),
+        faults=tuple(faults),
+        observability=ObsSpec(trace=trace,
+                              recovery_restart_delay_us=100.0))
+    bed = build(spec)
+    tplane = bed.trace_plane
+    plane = bed.fault_plane
+    rkv: Dict[str, RkvNode] = bed.app("rkv").nodes
+    client = ChaosClient(bed.sim, bed.network,
+                         port=bed.clients["client"])
 
     value = bytes(value_bytes)
 
@@ -360,28 +374,29 @@ def run_dt_chaos(seed: int = 42, loss: float = 0.005,
                  trace: bool = False) -> ChaosReport:
     """Distributed transactions under loss: every txn must be answered
     (committed or aborted) and no aborted write may leak into a store."""
-    bed = make_testbed(seed=seed)
-    tplane = TracePlane(bed.sim) if trace else None
-    plane = FaultPlane(bed.sim, seed=seed)
-    plane.add(FaultSpec(FaultKind.LINK_LOSS, target="*", probability=loss))
-    plane.add(FaultSpec(FaultKind.DMA_TORN, target="s0.chan.*",
-                        every_nth=torn_every_nth))
-
-    policy = RecoveryPolicy(restart_delay_us=100.0)
-    servers = {}
-    for name in ("s0", "s1", "s2"):
-        servers[name] = bed.add_server(
-            name, LIQUIDIO_CN2350,
-            config=SchedulerConfig(migration_enabled=False),
-            host_workers=2, reliable=True, fault_plane=plane,
-            recovery=policy)
-    coordinator = DtCoordinatorNode(servers["s0"].runtime,
-                                    participant_nodes=["s1", "s2"],
-                                    log_segment_bytes=1 << 20)
-    participants = [DtParticipantNode(servers["s1"].runtime),
-                    DtParticipantNode(servers["s2"].runtime)]
-    client = ChaosClient(bed.sim, bed.network, timeout_us=3_000.0)
-    plane.wire_network(bed.network)
+    spec = ScenarioSpec(
+        name="chaos-dt", seed=seed, duration_us=duration_us,
+        racks=(RackSpec(name="rack0",
+                        servers=_chaos_servers(("s0", "s1", "s2")),
+                        clients=(ClientSpec("client"),)),),
+        apps=(AppSpec(kind="dt", servers=("s0", "s1", "s2"),
+                      options=(("log_segment_bytes", 1 << 20),)),),
+        faults=(
+            FaultDecl(kind=FaultKind.LINK_LOSS, target="*",
+                      probability=loss),
+            FaultDecl(kind=FaultKind.DMA_TORN, target="s0.chan.*",
+                      every_nth=torn_every_nth),
+        ),
+        observability=ObsSpec(trace=trace,
+                              recovery_restart_delay_us=100.0))
+    bed = build(spec)
+    tplane = bed.trace_plane
+    plane = bed.fault_plane
+    app = bed.app("dt")
+    coordinator = app.nodes["s0"]
+    participants = [app.nodes["s1"], app.nodes["s2"]]
+    client = ChaosClient(bed.sim, bed.network, timeout_us=3_000.0,
+                         port=bed.clients["client"])
 
     def driver():
         for i in range(n_txns):
@@ -420,27 +435,33 @@ def run_rta_chaos(seed: int = 42, loss: float = 0.01,
                   trace: bool = False) -> ChaosReport:
     """Analytics pipeline surviving a NIC core failure, a core stall and
     a crash of the stateful counter actor."""
-    bed = make_testbed(seed=seed)
-    tplane = TracePlane(bed.sim) if trace else None
-    plane = FaultPlane(bed.sim, seed=seed)
-    plane.add(FaultSpec(FaultKind.LINK_LOSS, target="*", probability=loss))
-    plane.add(FaultSpec(FaultKind.CORE_FAIL, target="3", node="s0",
-                        at_us=(duration_us * 0.2,)))
-    plane.add(FaultSpec(FaultKind.CORE_STALL, target="1", node="s0",
-                        at_us=(duration_us * 0.3,), duration_us=2_000.0))
-    plane.add(FaultSpec(FaultKind.ACTOR_CRASH, target="counter", node="s0",
-                        at_us=(duration_us * 0.4,)))
-    plane.add(FaultSpec(FaultKind.RING_STALL, target="s0.chan.to_host",
-                        at_us=(duration_us * 0.5,), duration_us=1_000.0))
-
-    server = bed.add_server(
-        "s0", LIQUIDIO_CN2350,
-        config=SchedulerConfig(migration_enabled=False),
-        host_workers=2, reliable=True, fault_plane=plane,
-        recovery=RecoveryPolicy(restart_delay_us=100.0))
-    worker = RtaWorkerNode(server.runtime)
-    client = ChaosClient(bed.sim, bed.network)
-    plane.wire_network(bed.network)
+    spec = ScenarioSpec(
+        name="chaos-rta", seed=seed, duration_us=duration_us,
+        racks=(RackSpec(name="rack0", servers=_chaos_servers(("s0",)),
+                        clients=(ClientSpec("client"),)),),
+        apps=(AppSpec(kind="rta", servers=("s0",)),),
+        faults=(
+            FaultDecl(kind=FaultKind.LINK_LOSS, target="*",
+                      probability=loss),
+            FaultDecl(kind=FaultKind.CORE_FAIL, target="3", node="s0",
+                      at_us=(duration_us * 0.2,)),
+            FaultDecl(kind=FaultKind.CORE_STALL, target="1", node="s0",
+                      at_us=(duration_us * 0.3,), duration_us=2_000.0),
+            FaultDecl(kind=FaultKind.ACTOR_CRASH, target="counter",
+                      node="s0", at_us=(duration_us * 0.4,)),
+            FaultDecl(kind=FaultKind.RING_STALL,
+                      target="s0.chan.to_host",
+                      at_us=(duration_us * 0.5,), duration_us=1_000.0),
+        ),
+        observability=ObsSpec(trace=trace,
+                              recovery_restart_delay_us=100.0))
+    bed = build(spec)
+    tplane = bed.trace_plane
+    plane = bed.fault_plane
+    server = bed.servers["s0"]
+    worker = bed.app("rta").nodes["s0"]
+    client = ChaosClient(bed.sim, bed.network,
+                         port=bed.clients["client"])
 
     def driver():
         for i in range(n_requests):

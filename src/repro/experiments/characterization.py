@@ -144,6 +144,18 @@ def traffic_manager_experiment(frame_bytes: int, cores: int,
                      avg_us=rec.mean, p99_us=rec.p99)
 
 
+def traffic_manager_from_spec(scenario_spec, frame_bytes: int, cores: int,
+                              **kwargs) -> Fig5Point:
+    """Figure 5 driven by a ScenarioSpec: the NIC model and seed come
+    from the spec's first server (the experiment itself runs entirely
+    inside that NIC — no fabric is involved)."""
+    from ..scenario import resolve_nic
+    server = scenario_spec.racks[0].servers[0]
+    return traffic_manager_experiment(frame_bytes, cores,
+                                      spec=resolve_nic(server.nic),
+                                      seed=scenario_spec.seed, **kwargs)
+
+
 def figure5_panel(sizes: Sequence[int] = (64, 512, 1024, 1500),
                   cores: Sequence[int] = (6, 12),
                   duration_us: float = 25_000.0,

@@ -12,12 +12,19 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from ..core import Actor, SchedulerConfig
+from ..core import Actor
 from ..core.migration import MigrationReport
 from ..nic import LIQUIDIO_CN2350, NicSpec
 from ..nic.cores import WorkloadProfile
+from ..scenario import (
+    ClientSpec,
+    FabricSpec,
+    RackSpec,
+    ScenarioSpec,
+    ServerSpec,
+    build,
+)
 from ..sim import Rng, spawn
-from .testbed import make_testbed
 
 #: The eight actors of Figure 18 with representative DMO state sizes.
 #: The LSM Memtable carries ~32MB (its full Memtable object); protocol
@@ -51,10 +58,15 @@ def run_migration_breakdown(spec: NicSpec = LIQUIDIO_CN2350,
 def _migrate_one(spec: NicSpec, name: str, state_bytes: int, exec_us: float,
                  load: float, warmup_us: float, seed: int
                  ) -> Optional[MigrationReport]:
-    bed = make_testbed(bandwidth_gbps=spec.bandwidth_gbps)
-    server = bed.add_server(
-        "server", spec,
-        config=SchedulerConfig(migration_enabled=False))
+    bed = build(ScenarioSpec(
+        name=f"fig18-{name}", seed=seed,
+        racks=(RackSpec(
+            name="rack0",
+            servers=(ServerSpec(name="server", nic=spec, host_workers=4,
+                                scheduler=(("migration_enabled", False),)),),
+            clients=(ClientSpec("client"),)),),
+        fabric=FabricSpec(bandwidth_gbps=spec.bandwidth_gbps)))
+    server = bed.servers["server"]
 
     def handler(actor, msg, ctx):
         yield ctx.compute(us=exec_us)
@@ -80,7 +92,7 @@ def _migrate_one(spec: NicSpec, name: str, state_bytes: int, exec_us: float,
     line = line_rate_pps(spec.bandwidth_gbps, 512) / 1e6
     capacity = 0.9 * spec.cores / max(exec_us, 0.5)
     rate_mpps = load * min(line, capacity)
-    client = bed.add_client("client")
+    client = bed.clients["client"]
     gen = client.open_loop(dst="server", rate_mpps=rate_mpps, size=512,
                            rng=Rng(seed))
 

@@ -16,12 +16,18 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
-from ..apps.nf import FirewallNode, IpsecNode, generate_ruleset
-from ..core import SchedulerConfig
 from ..nic import LIQUIDIO_CN2350, LIQUIDIO_CN2360, NicSpec
+from ..scenario import (
+    AppSpec,
+    ClientSpec,
+    FabricSpec,
+    RackSpec,
+    ScenarioSpec,
+    ServerSpec,
+    build,
+)
 from ..sim import LatencyRecorder, Rng
 from .applications import run_app
-from .testbed import make_testbed
 
 
 # -- §5.6 Floem comparison ---------------------------------------------------------
@@ -63,11 +69,19 @@ def firewall_latency_vs_load(rule_count: int = 8192, packet_size: int = 1024,
     """[(load, mean processing latency µs)] for the 8K-rule firewall."""
     results = []
     for load in loads:
-        bed = make_testbed(bandwidth_gbps=spec.bandwidth_gbps)
-        server = bed.add_server("fw", spec,
-                                config=SchedulerConfig(migration_enabled=False))
-        node = FirewallNode(server.runtime,
-                            rules=generate_ruleset(rule_count, rng=Rng(seed)))
+        bed = build(ScenarioSpec(
+            name=f"firewall-{load}", seed=seed,
+            racks=(RackSpec(
+                name="rack0",
+                servers=(ServerSpec(
+                    name="fw", nic=spec, host_workers=4,
+                    scheduler=(("migration_enabled", False),)),),
+                clients=(ClientSpec("client"),)),),
+            fabric=FabricSpec(bandwidth_gbps=spec.bandwidth_gbps),
+            apps=(AppSpec(kind="firewall", servers=("fw",),
+                          options=(("rule_count", rule_count),
+                                   ("rule_seed", seed))),)))
+        server = bed.servers["fw"]
         rng = Rng(seed + 1)
 
         def payload(_i, rng=rng):
@@ -81,16 +95,14 @@ def firewall_latency_vs_load(rule_count: int = 8192, packet_size: int = 1024,
         from ..net import line_rate_pps
         rate = load * line_rate_pps(spec.bandwidth_gbps, packet_size) / 1e6
         recorder = LatencyRecorder()
-        client = bed.add_client("client")
+        client = bed.clients["client"]
 
         def on_reply(packet, recorder=recorder, bed=bed):
             recorder.record(bed.sim.now - packet.created_at)
 
-        client._generators.append(type("G", (), {"on_reply": staticmethod(on_reply)}))
+        client.add_sink(on_reply)
         gen = client.open_loop(dst="fw", rate_mpps=rate, size=packet_size,
                                payload_factory=payload, rng=Rng(seed + 2))
-        for pkt_kind in ("data",):
-            server.runtime.dispatch_table[pkt_kind] = "firewall"
         bed.sim.run(until=duration_us)
         gen.stop()
         server.runtime.stop()
@@ -109,24 +121,23 @@ def ipsec_goodput_gbps(spec: NicSpec = LIQUIDIO_CN2350,
                        duration_us: float = 15_000.0,
                        seed: int = 41) -> float:
     """Achieved IPsec encapsulation goodput for 1KB packets."""
-    bed = make_testbed(bandwidth_gbps=spec.bandwidth_gbps)
-    server = bed.add_server("gw", spec,
-                            config=SchedulerConfig(migration_enabled=False))
-    IpsecNode(server.runtime)
-    client = bed.add_client("gwclient")
+    bed = build(ScenarioSpec(
+        name="ipsec-gw", seed=seed,
+        racks=(RackSpec(
+            name="rack0",
+            servers=(ServerSpec(
+                name="gw", nic=spec, host_workers=4,
+                scheduler=(("migration_enabled", False),)),),
+            clients=(ClientSpec("gwclient"),)),),
+        fabric=FabricSpec(bandwidth_gbps=spec.bandwidth_gbps),
+        apps=(AppSpec(kind="ipsec", servers=("gw",)),)))
+    server = bed.servers["gw"]
+    client = bed.clients["gwclient"]
     payload_data = bytes(packet_size - 64)
     gen = client.closed_loop(dst="gw", clients=clients, size=packet_size,
                              payload_factory=lambda i: {"data": payload_data},
                              rng=Rng(seed))
-    # route via the esp-pkt dispatch key
     runtime = server.runtime
-    original = runtime.on_packet
-
-    def routed(packet):
-        packet.kind = "esp-pkt"
-        original(packet)
-
-    server.nic.packet_handler = routed
     bed.sim.run(until=duration_us)
     gen.stop()
     runtime.stop()

@@ -27,9 +27,16 @@ from typing import Dict, List, Sequence, Tuple
 from ..core import Actor, SchedulerConfig
 from ..core.actor import Location
 from ..nic import LIQUIDIO_CN2350, STINGRAY_PS225, NicSpec
-from ..obs import TracePlane
+from ..scenario import (
+    ClientSpec,
+    FabricSpec,
+    ObsSpec,
+    RackSpec,
+    ScenarioSpec,
+    ServerSpec,
+    build,
+)
 from ..sim import LatencyRecorder, Rng, Timeout
-from .testbed import make_testbed
 
 POLICIES = ("fcfs", "drr", "ipipe")
 
@@ -102,21 +109,26 @@ def _make_handler(recorder: LatencyRecorder):
     return handler
 
 
-def _policy_config(policy: str, spec: NicSpec) -> SchedulerConfig:
+def _policy_scheduler(policy: str, spec: NicSpec) -> Tuple[Tuple[str, object], ...]:
+    """The policy's SchedulerConfig overrides as declarative spec pairs."""
     tail = TAIL_THRESH_US[spec.model]
     if policy == "fcfs":
-        return SchedulerConfig(downgrade_enabled=False,
-                               migration_enabled=False, autoscale=False)
+        return (("downgrade_enabled", False), ("migration_enabled", False),
+                ("autoscale", False))
     if policy == "drr":
-        return SchedulerConfig(tail_thresh_us=0.0, downgrade_enabled=False,
-                               migration_enabled=False, autoscale=False)
+        return (("tail_thresh_us", 0.0), ("downgrade_enabled", False),
+                ("migration_enabled", False), ("autoscale", False))
     if policy == "ipipe":
         # The full iPipe: downgrade/upgrade + push/pull migration.  Unlike
         # the standalone disciplines, iPipe may shed load to the host when
         # the NIC queues build up — that is the point of the framework.
-        return SchedulerConfig(tail_thresh_us=tail,
-                               migration_enabled=True, autoscale=True)
+        return (("tail_thresh_us", tail), ("migration_enabled", True),
+                ("autoscale", True))
     raise ValueError(f"unknown policy {policy!r}")
+
+
+def _policy_config(policy: str, spec: NicSpec) -> SchedulerConfig:
+    return SchedulerConfig(**dict(_policy_scheduler(policy, spec)))
 
 
 def run_point(spec: NicSpec, policy: str, dispersion: str, load: float,
@@ -137,9 +149,20 @@ def run_point(spec: NicSpec, policy: str, dispersion: str, load: float,
     else:
         raise ValueError(f"unknown dispersion {dispersion!r}")
 
-    bed = make_testbed(bandwidth_gbps=spec.bandwidth_gbps)
-    tplane = TracePlane(bed.sim) if traced else None
-    server = bed.add_server("server", spec, config=_policy_config(policy, spec))
+    scenario = build(ScenarioSpec(
+        name=f"fig16-{policy}-{dispersion}", seed=seed,
+        duration_us=duration_us,
+        racks=(RackSpec(
+            name="rack0",
+            servers=(ServerSpec(name="server", nic=spec,
+                                host_workers=4,
+                                scheduler=_policy_scheduler(policy, spec)),),
+            clients=(ClientSpec("client"),)),),
+        fabric=FabricSpec(bandwidth_gbps=spec.bandwidth_gbps),
+        observability=ObsSpec(trace=traced)))
+    bed = scenario
+    tplane = scenario.trace_plane
+    server = scenario.servers["server"]
     recorder = LatencyRecorder("sojourn")
     handler = _make_handler(recorder)
     rng = Rng(seed)
@@ -174,7 +197,7 @@ def run_point(spec: NicSpec, policy: str, dispersion: str, load: float,
         return {"actor": chosen.name,
                 "service_us": rng.lognormal(chosen.mean_us, chosen.sigma)}
 
-    client = bed.add_client("client")
+    client = scenario.clients["client"]
     gen = client.open_loop(dst="server", rate_mpps=rate_mpps,
                            size=frame_bytes, payload_factory=payload_factory,
                            rng=rng.fork(99))

@@ -1,38 +1,34 @@
-"""Testbed assembly helpers: servers with SmartNICs, clients, clusters.
+"""Testbed assembly: a thin imperative wrapper over the scenario layer.
 
 Mirrors the paper's 8-node testbed (§2.2.1/§5.1): Supermicro servers with
 a SmartNIC each behind one ToR switch, plus client boxes with dumb NICs
-running the workload generator.
+running the workload generator.  All actual construction lives in
+:mod:`repro.scenario.build`; this module keeps the familiar
+``make_testbed`` / ``add_server`` / ``add_client`` surface for
+experiments that wire deployments by hand.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, Optional
 
-from ..core import IPipeRuntime, SchedulerConfig
-from ..host import HostMachine
-from ..net import ClosedLoopGenerator, Network, OpenLoopGenerator, Packet
-from ..nic import LIQUIDIO_CN2350, NicSpec, SmartNic, host_for
-from ..sim import Rng, Simulator
+from ..core import SchedulerConfig
+from ..net import Fabric, Packet
+from ..nic import LIQUIDIO_CN2350, NicSpec
+from ..scenario.build import ClientPort, Server, make_fabric, make_server
+from ..scenario.spec import FabricSpec, RackSpec
+from ..sim import Simulator
 
-
-@dataclass
-class Server:
-    """One server box: host machine + SmartNIC + iPipe runtime."""
-
-    name: str
-    nic: SmartNic
-    machine: HostMachine
-    runtime: IPipeRuntime
+__all__ = ["ClientPort", "Server", "Testbed", "make_testbed"]
 
 
 @dataclass
 class Testbed:
-    """A simulated rack: one switch, servers, and client endpoints."""
+    """A simulated deployment: fabric, servers, and client endpoints."""
 
     sim: Simulator
-    network: Network
+    network: Fabric
     servers: Dict[str, Server] = field(default_factory=dict)
     client_receivers: Dict[str, Callable[[Packet], None]] = field(default_factory=dict)
 
@@ -45,60 +41,33 @@ class Testbed:
                    host_cores: Optional[int] = None,
                    reliable: bool = False,
                    fault_plane=None,
-                   recovery=None) -> Server:
-        nic = SmartNic(self.sim, nic_spec, name=f"{name}.nic")
-        machine = HostMachine(self.sim, host_for(nic_spec), name=name,
-                              cores=host_cores or host_for(nic_spec).cores)
-        runtime = IPipeRuntime(self.sim, nic, machine, self.network, name,
-                               config=config, host_workers=host_workers,
-                               reliable=reliable, fault_plane=fault_plane,
-                               recovery=recovery)
-        server = Server(name=name, nic=nic, machine=machine, runtime=runtime)
+                   recovery=None,
+                   system: str = "ipipe",
+                   rack: Optional[str] = None) -> Server:
+        if rack is not None:
+            self.network.place(name, rack)
+        server = make_server(self.sim, self.network, name, nic_spec,
+                             system=system, config=config,
+                             host_workers=host_workers,
+                             host_cores=host_cores, reliable=reliable,
+                             fault_plane=fault_plane, recovery=recovery)
         self.servers[name] = server
         return server
 
-    def add_client(self, name: str) -> "ClientPort":
+    def add_client(self, name: str, rack: Optional[str] = None) -> ClientPort:
         """A client box with a dumb NIC (Intel XL710-style endpoint)."""
-        port = ClientPort(self, name)
-        self.network.attach(name, port.receive)
+        port = ClientPort(self.sim, self.network, name)
+        self.network.attach(name, port.receive, rack=rack)
         return port
 
 
-class ClientPort:
-    """Receive demux for a client node: routes replies to generators."""
-
-    def __init__(self, testbed: Testbed, name: str):
-        self.testbed = testbed
-        self.name = name
-        self._generators: List[ClosedLoopGenerator] = []
-        self.received: int = 0
-
-    def receive(self, packet: Packet) -> None:
-        self.received += 1
-        for gen in self._generators:
-            gen.on_reply(packet)
-
-    def closed_loop(self, dst: str, clients: int, size: int,
-                    payload_factory=None, rng: Optional[Rng] = None,
-                    think_time_us: float = 0.0) -> ClosedLoopGenerator:
-        gen = ClosedLoopGenerator(
-            self.testbed.sim, send=self.testbed.network.send,
-            src=self.name, dst=dst, clients=clients, size=size,
-            payload_factory=payload_factory, rng=rng,
-            think_time_us=think_time_us)
-        self._generators.append(gen)
-        return gen
-
-    def open_loop(self, dst: str, rate_mpps: float, size: int,
-                  payload_factory=None, rng: Optional[Rng] = None,
-                  poisson: bool = True) -> OpenLoopGenerator:
-        return OpenLoopGenerator(
-            self.testbed.sim, send=self.testbed.network.send,
-            src=self.name, dst=dst, rate_mpps=rate_mpps, size=size,
-            payload_factory=payload_factory, rng=rng, poisson=poisson)
-
-
-def make_testbed(bandwidth_gbps: float = 10, seed: int = 42) -> Testbed:
+def make_testbed(bandwidth_gbps: float = 10, seed: int = 42,
+                 fabric: Optional[FabricSpec] = None,
+                 racks: Optional[list] = None) -> Testbed:
+    """One rack by default; pass ``fabric``/``racks`` for a multi-rack
+    testbed built through the scenario fabric layer."""
     sim = Simulator()
-    network = Network(sim, bandwidth_gbps=bandwidth_gbps)
+    spec = fabric or FabricSpec(bandwidth_gbps=bandwidth_gbps)
+    rack_specs = racks if racks is not None else [RackSpec(name="rack0")]
+    network = make_fabric(sim, spec, rack_specs)
     return Testbed(sim=sim, network=network)

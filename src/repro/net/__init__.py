@@ -14,7 +14,8 @@ from .packet import (
     wire_bits,
 )
 from .link import DuplexPort, Link
-from .switch import Network, ToRSwitch
+from .switch import SpineSwitch, ToRSwitch
+from .fabric import Fabric, Network
 from .pktgen import ClosedLoopGenerator, OpenLoopGenerator
 
 __all__ = [
@@ -30,8 +31,10 @@ __all__ = [
     "serialization_delay_us",
     "wire_bits",
     "DuplexPort",
+    "Fabric",
     "Link",
     "Network",
+    "SpineSwitch",
     "ToRSwitch",
     "ClosedLoopGenerator",
     "OpenLoopGenerator",

@@ -106,13 +106,18 @@ class ClosedLoopGenerator:
     def __init__(self, sim: Simulator, send: SendFn, src: str, dst: str,
                  clients: int, size: int,
                  payload_factory: Optional[PayloadFactory] = None,
-                 rng: Optional[Rng] = None, think_time_us: float = 0.0):
+                 rng: Optional[Rng] = None, think_time_us: float = 0.0,
+                 tag: Optional[str] = None):
         if clients <= 0:
             raise ValueError("need at least one client")
         self.sim = sim
         self.send = send
         self.src = src
         self.dst = dst
+        #: demux tag stamped into every request's ``client`` meta key;
+        #: unique per generator so a multi-generator client node can
+        #: route each reply to exactly its owning generator
+        self.tag = tag if tag is not None else src
         self.clients = clients
         self.size = size
         self.payload_factory = payload_factory
@@ -154,9 +159,9 @@ class ClosedLoopGenerator:
                 flow_id=client_id, payload=payload,
                 created_at=self.sim.now,
             )
-            packet.meta["client"] = (self.src, client_id)
+            packet.meta["client"] = (self.tag, client_id)
             waiter = Signal(self.sim)
-            self._pending[(self.src, client_id)] = waiter
+            self._pending[(self.tag, client_id)] = waiter
             self.send(packet)
             self.sent += 1
             yield waiter

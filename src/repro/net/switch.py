@@ -1,13 +1,15 @@
-"""A top-of-rack switch and the fabric wiring hosts together.
+"""Switching elements: top-of-rack and spine/aggregation switches.
 
 Models the Arista DCS-7050S / Cavium XP70 ToR from the testbed (§2.2.1):
 cut-through forwarding with sub-microsecond port-to-port latency, one
-full-duplex port per attached node.
+full-duplex port per attached node.  A :class:`SpineSwitch` aggregates
+several ToRs into a two-tier fabric (see :mod:`repro.net.fabric`);
+cross-rack traffic pays the ToR→spine→ToR path.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict
+from typing import Dict, Optional
 
 from ..sim import Simulator
 from .link import Link
@@ -15,10 +17,18 @@ from .packet import Packet
 
 #: Cut-through forwarding latency of a datacenter ToR, microseconds.
 DEFAULT_SWITCH_LATENCY_US = 0.45
+#: Forwarding latency of the aggregation/spine tier, microseconds
+#: (deeper buffers and a larger crossbar than the ToR).
+DEFAULT_SPINE_LATENCY_US = 0.60
 
 
 class ToRSwitch:
-    """Output-queued ToR switch: per-destination egress links."""
+    """Output-queued ToR switch: per-destination egress links.
+
+    When the switch is part of a multi-rack fabric, frames whose
+    destination is not attached locally are forwarded up the
+    :attr:`uplink` toward the spine instead of being dropped.
+    """
 
     def __init__(self, sim: Simulator, name: str = "tor",
                  forwarding_latency_us: float = DEFAULT_SWITCH_LATENCY_US):
@@ -26,6 +36,8 @@ class ToRSwitch:
         self.name = name
         self.forwarding_latency_us = forwarding_latency_us
         self._egress: Dict[str, Link] = {}
+        #: link toward the spine switch; None for a standalone (star) ToR
+        self.uplink: Optional[Link] = None
         self.forwarded = 0
         self.dropped = 0
 
@@ -37,44 +49,56 @@ class ToRSwitch:
         """Receive a frame from any ingress port and forward it."""
         egress = self._egress.get(packet.dst)
         if egress is None:
+            if self.uplink is not None:
+                self.forwarded += 1
+                self.sim.post(self.forwarding_latency_us,
+                              self.uplink.transmit, packet)
+                return
+            self.dropped += 1
+            return
+        self.forwarded += 1
+        self.sim.post(self.forwarding_latency_us, egress.transmit, packet)
+
+    def deliver_local(self, packet: Packet) -> None:
+        """Receive a frame from the spine; deliver locally or drop.
+
+        Never re-ascends the uplink — the spine already routed on the
+        destination's rack, so an unknown node here is a dead letter.
+        """
+        egress = self._egress.get(packet.dst)
+        if egress is None:
             self.dropped += 1
             return
         self.forwarded += 1
         self.sim.post(self.forwarding_latency_us, egress.transmit, packet)
 
 
-class Network:
-    """Star topology: every node connects to one ToR switch.
+class SpineSwitch:
+    """Aggregation switch routing between racks by destination node."""
 
-    Nodes are anything exposing ``receive(packet)``.  ``attach`` builds the
-    host→switch and switch→host links and returns the host-side uplink so
-    the node can transmit.
-    """
-
-    def __init__(self, sim: Simulator, bandwidth_gbps: float,
-                 propagation_us: float = 0.3):
+    def __init__(self, sim: Simulator, name: str = "spine",
+                 forwarding_latency_us: float = DEFAULT_SPINE_LATENCY_US):
         self.sim = sim
-        self.bandwidth_gbps = bandwidth_gbps
-        self.propagation_us = propagation_us
-        self.switch = ToRSwitch(sim)
-        self._uplinks: Dict[str, Link] = {}
+        self.name = name
+        self.forwarding_latency_us = forwarding_latency_us
+        self._egress: Dict[str, Link] = {}   # rack -> downlink to its ToR
+        self._rack_of: Dict[str, str] = {}   # node -> rack
+        self.forwarded = 0
+        self.dropped = 0
 
-    def attach(self, name: str, receiver: Callable[[Packet], None],
-               bandwidth_gbps: float = None) -> Link:
-        bw = bandwidth_gbps or self.bandwidth_gbps
-        downlink = Link(self.sim, bw, receiver=receiver,
-                        propagation_us=self.propagation_us,
-                        name=f"{name}.down")
-        self.switch.attach(name, downlink)
-        uplink = Link(self.sim, bw, receiver=self.switch.ingest,
-                      propagation_us=self.propagation_us,
-                      name=f"{name}.up")
-        self._uplinks[name] = uplink
-        return uplink
+    def attach_rack(self, rack: str, egress: Link) -> None:
+        """Register the link carrying traffic down to ``rack``'s ToR."""
+        self._egress[rack] = egress
 
-    def uplink(self, name: str) -> Link:
-        return self._uplinks[name]
+    def register(self, node: str, rack: str) -> None:
+        """Record which rack ``node`` lives in (routing table entry)."""
+        self._rack_of[node] = rack
 
-    def send(self, packet: Packet) -> None:
-        """Transmit from ``packet.src``'s uplink."""
-        self._uplinks[packet.src].transmit(packet)
+    def ingest(self, packet: Packet) -> None:
+        rack = self._rack_of.get(packet.dst)
+        egress = self._egress.get(rack) if rack is not None else None
+        if egress is None:
+            self.dropped += 1
+            return
+        self.forwarded += 1
+        self.sim.post(self.forwarding_latency_us, egress.transmit, packet)

@@ -1,0 +1,449 @@
+"""Scenario assembly: one ``build(spec)`` turning data into a simulation.
+
+The builder owns every construction step the experiment modules used to
+hand-roll: fabric wiring, server bring-up (iPipe, host-only iPipe, DPDK
+and Floem baselines), application placement (including sharded RKV with
+cross-rack Paxos replica groups), client fleets, fault-plane wiring and
+observability riders.  Construction order is fixed — simulator, fabric,
+trace plane, fault plane, servers (rack by rack), apps, client ports,
+fleets, fault wiring — so a spec-built deployment schedules the exact
+same event sequence as the seed's hand-wired testbeds.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..baselines import DpdkRuntime, FloemRuntime
+from ..core import IPipeRuntime, SchedulerConfig
+from ..host import HostMachine
+from ..net import (
+    ClosedLoopGenerator,
+    Fabric,
+    Network,
+    OpenLoopGenerator,
+    Packet,
+)
+from ..nic import NicSpec, SmartNic, host_for
+from ..sim import FaultPlane, FaultSpec, RecoveryPolicy, Rng, Simulator
+from .spec import (
+    AppSpec,
+    FabricSpec,
+    FleetSpec,
+    ScenarioSpec,
+    resolve_nic,
+)
+
+
+@dataclass
+class Server:
+    """One server box: host machine + (Smart)NIC + runtime."""
+
+    name: str
+    nic: Optional[SmartNic]
+    machine: HostMachine
+    runtime: object
+
+
+class ClientPort:
+    """Receive demux for a client node: routes replies to generators.
+
+    Replies are demultiplexed to the *owning* generator by the request's
+    ``client`` meta tag (O(1) per reply); packets carrying no tag — or a
+    tag from no local generator — fall through to the registered sinks.
+    """
+
+    def __init__(self, sim: Simulator, network: Fabric, name: str):
+        self.sim = sim
+        self.network = network
+        self.name = name
+        self._generators: List[ClosedLoopGenerator] = []
+        self._demux: Dict[str, ClosedLoopGenerator] = {}
+        self._sinks: List[Callable[[Packet], None]] = []
+        self.received: int = 0
+
+    def receive(self, packet: Packet) -> None:
+        self.received += 1
+        key = packet.meta.get("client")
+        if isinstance(key, tuple) and key:
+            gen = self._demux.get(key[0])
+            if gen is not None:
+                gen.on_reply(packet)
+                return
+        for sink in self._sinks:
+            sink(packet)
+
+    def add_sink(self, fn: Callable[[Packet], None]) -> None:
+        """A tap for replies owned by no closed-loop generator (e.g.
+        open-loop response accounting)."""
+        self._sinks.append(fn)
+
+    def closed_loop(self, dst: str, clients: int, size: int,
+                    payload_factory=None, rng: Optional[Rng] = None,
+                    think_time_us: float = 0.0) -> ClosedLoopGenerator:
+        # first generator keeps the node name as its tag (the seed's
+        # meta layout); later ones get a unique suffix for the demux
+        tag = (self.name if not self._generators
+               else f"{self.name}#{len(self._generators)}")
+        gen = ClosedLoopGenerator(
+            self.sim, send=self.network.send,
+            src=self.name, dst=dst, clients=clients, size=size,
+            payload_factory=payload_factory, rng=rng,
+            think_time_us=think_time_us, tag=tag)
+        self._generators.append(gen)
+        self._demux[tag] = gen
+        return gen
+
+    def open_loop(self, dst: str, rate_mpps: float, size: int,
+                  payload_factory=None, rng: Optional[Rng] = None,
+                  poisson: bool = True) -> OpenLoopGenerator:
+        return OpenLoopGenerator(
+            self.sim, send=self.network.send,
+            src=self.name, dst=dst, rate_mpps=rate_mpps, size=size,
+            payload_factory=payload_factory, rng=rng, poisson=poisson)
+
+
+class BuiltApp:
+    """One placed application: its replica groups and wired node objects."""
+
+    def __init__(self, spec: AppSpec, groups: List[List[str]]):
+        self.spec = spec
+        self.kind = spec.kind
+        self.groups = groups
+        self.leaders: List[str] = []
+        self.nodes: Dict[str, object] = {}   # server name -> app node
+
+    def shard_for_key(self, key: str) -> int:
+        return zlib.crc32(str(key).encode()) % max(len(self.groups), 1)
+
+
+@dataclass
+class Scenario:
+    """A built simulation: everything ``build(spec)`` assembled."""
+
+    spec: ScenarioSpec
+    sim: Simulator
+    network: Fabric
+    servers: Dict[str, Server] = field(default_factory=dict)
+    clients: Dict[str, ClientPort] = field(default_factory=dict)
+    apps: List[BuiltApp] = field(default_factory=list)
+    generators: List[object] = field(default_factory=list)
+    fault_plane: Optional[FaultPlane] = None
+    trace_plane: Optional[object] = None
+    recovery: Optional[RecoveryPolicy] = None
+
+    def server(self, name: str) -> Server:
+        return self.servers[name]
+
+    def client(self, name: str) -> ClientPort:
+        return self.clients[name]
+
+    def app(self, kind: str) -> BuiltApp:
+        for app in self.apps:
+            if app.kind == kind:
+                return app
+        raise KeyError(f"no {kind!r} app in scenario {self.spec.name!r}")
+
+    def run(self, until: Optional[float] = None) -> None:
+        self.sim.run(until=until if until is not None
+                     else self.spec.duration_us)
+
+    def stop(self) -> None:
+        for gen in self.generators:
+            stop = getattr(gen, "stop", None)
+            if stop is not None:
+                stop()
+        for server in self.servers.values():
+            server.runtime.stop()
+
+
+# -- server bring-up ----------------------------------------------------------
+
+def make_server(sim: Simulator, network: Fabric, name: str,
+                nic_spec: NicSpec, system: str = "ipipe",
+                config: Optional[SchedulerConfig] = None,
+                host_workers: Optional[int] = None,
+                host_cores: Optional[int] = None,
+                reliable: bool = False,
+                fault_plane=None,
+                recovery=None) -> Server:
+    """Assemble one server of any supported runtime system."""
+    if host_workers is None:
+        host_workers = host_for(nic_spec).cores
+    machine = HostMachine(sim, host_for(nic_spec), name=name,
+                          cores=host_cores or host_for(nic_spec).cores)
+    if system == "ipipe":
+        nic = SmartNic(sim, nic_spec, name=f"{name}.nic")
+        runtime = IPipeRuntime(sim, nic, machine, network, name,
+                               config=config, host_workers=host_workers,
+                               reliable=reliable, fault_plane=fault_plane,
+                               recovery=recovery)
+    elif system == "ipipe-hostonly":
+        nic = SmartNic(sim, nic_spec, name=f"{name}.nic")
+        runtime = IPipeRuntime(
+            sim, nic, machine, network, name,
+            config=config or SchedulerConfig(migration_enabled=False),
+            host_workers=host_workers, host_only=True,
+            reliable=reliable, fault_plane=fault_plane, recovery=recovery)
+    elif system == "floem":
+        nic = SmartNic(sim, nic_spec, name=f"{name}.nic")
+        runtime = FloemRuntime(sim, nic, machine, network, name,
+                               host_workers=host_workers)
+    elif system == "dpdk":
+        nic = None
+        runtime = DpdkRuntime(sim, machine, network, name,
+                              workers=host_workers,
+                              link_bandwidth_gbps=nic_spec.bandwidth_gbps)
+    else:
+        raise ValueError(f"unknown system {system!r}")
+    return Server(name=name, nic=nic, machine=machine, runtime=runtime)
+
+
+def make_fabric(sim: Simulator, fabric: FabricSpec, racks=()) -> Fabric:
+    """A fabric from its spec, with rack placements pre-registered."""
+    if len(racks) <= 1:
+        # the seed's star network: identical wiring and link names
+        network = Network(sim, bandwidth_gbps=fabric.bandwidth_gbps,
+                          propagation_us=fabric.propagation_us)
+        network.switch.forwarding_latency_us = fabric.tor_latency_us
+    else:
+        network = Fabric(
+            sim, bandwidth_gbps=fabric.bandwidth_gbps,
+            propagation_us=fabric.propagation_us,
+            racks=[r.name for r in racks],
+            tor_latency_us=fabric.tor_latency_us,
+            spine_latency_us=fabric.spine_latency_us,
+            uplink_gbps=fabric.uplink_gbps,
+            inter_rack_propagation_us=fabric.inter_rack_propagation_us)
+    for rack in racks:
+        for server in rack.servers:
+            network.place(server.name, rack.name)
+        for client in rack.clients:
+            network.place(client.name, rack.name)
+    return network
+
+
+# -- application placement ----------------------------------------------------
+
+def _install_payload_router(scenario: Scenario, name: str) -> None:
+    """Route requests by the ``kind`` their payload carries (the wire
+    format the paper's workload generators speak)."""
+    runtime = scenario.servers[name].runtime
+    original = runtime.on_packet
+
+    def routed(packet, original=original):
+        if isinstance(packet.payload, dict) and "kind" in packet.payload \
+                and "payload" not in packet.payload:
+            packet.kind = packet.payload["kind"]
+        original(packet)
+
+    if hasattr(runtime, "nic") and hasattr(runtime.nic, "packet_handler") \
+            and not isinstance(runtime, DpdkRuntime):
+        runtime.nic.packet_handler = routed
+    else:
+        scenario.network.egress(runtime.node_name).receiver = routed
+
+
+def _build_app(scenario: Scenario, app: AppSpec) -> BuiltApp:
+    built = BuiltApp(app, app.replica_groups(scenario.spec.server_names()))
+    if app.kind == "none":
+        return built
+    runtimes = {n: s.runtime for n, s in scenario.servers.items()}
+    if app.kind == "rkv":
+        from ..apps.rkv import RkvNode
+        memtable_limit = app.option("memtable_limit")
+        prefill_keys = app.option("prefill_keys", 0)
+        prefill_value_bytes = app.option("prefill_value_bytes", 64)
+        for group_idx, group in enumerate(built.groups):
+            leader = (app.leader if app.leader in group else group[0])
+            built.leaders.append(leader)
+            for name in group:
+                kwargs = {}
+                if memtable_limit is not None:
+                    kwargs["memtable_limit"] = memtable_limit
+                node = RkvNode(runtimes[name],
+                               [p for p in group if p != name],
+                               initial_leader=leader, **kwargs)
+                if prefill_keys:
+                    node.prefill(prefill_keys, prefill_value_bytes)
+                built.nodes[name] = node
+    elif app.kind == "dt":
+        from ..apps.dt import DtCoordinatorNode, DtParticipantNode
+        for group in built.groups:
+            coordinator, participants = group[0], group[1:]
+            built.leaders.append(coordinator)
+            kwargs = {}
+            if app.option("log_segment_bytes") is not None:
+                kwargs["log_segment_bytes"] = app.option("log_segment_bytes")
+            built.nodes[coordinator] = DtCoordinatorNode(
+                runtimes[coordinator], participant_nodes=list(participants),
+                **kwargs)
+            for name in participants:
+                built.nodes[name] = DtParticipantNode(runtimes[name])
+    elif app.kind == "rta":
+        from ..apps.rta import RtaWorkerNode
+        for group in built.groups:
+            aggregate = app.option("aggregate")
+            if aggregate is None and len(group) > 1:
+                aggregate = group[0]
+            built.leaders.append(group[0])
+            for name in group:
+                built.nodes[name] = RtaWorkerNode(
+                    runtimes[name], aggregate_node=aggregate)
+    elif app.kind == "firewall":
+        from ..apps.nf import FirewallNode, generate_ruleset
+        rules = generate_ruleset(app.option("rule_count", 8192),
+                                 rng=Rng(app.option("rule_seed", 31)))
+        for group in built.groups:
+            built.leaders.append(group[0])
+            for name in group:
+                built.nodes[name] = FirewallNode(runtimes[name], rules=rules)
+                runtimes[name].dispatch_table["data"] = "firewall"
+    elif app.kind == "ipsec":
+        from ..apps.nf import IpsecNode
+        for group in built.groups:
+            built.leaders.append(group[0])
+            for name in group:
+                built.nodes[name] = IpsecNode(runtimes[name])
+                # a gateway's whole ingress is ESP traffic
+                runtime = runtimes[name]
+                original = runtime.on_packet
+
+                def esp(packet, original=original):
+                    packet.kind = "esp-pkt"
+                    original(packet)
+                runtime.nic.packet_handler = esp
+    else:
+        raise ValueError(f"unknown app kind {app.kind!r}")
+    return built
+
+
+# -- client fleets ------------------------------------------------------------
+
+def _make_workload(fleet: FleetSpec, shard: Optional[int] = None):
+    """The fleet's request factory; sharded fleets get disjoint
+    per-shard keyspaces so shard affinity holds by construction."""
+    if fleet.workload == "none":
+        return None
+    from ..workloads import KvWorkload, TwitterWorkload, TxnWorkload
+    if fleet.workload == "kv":
+        wl = (KvWorkload(packet_size=fleet.size) if shard is None
+              else KvWorkload(packet_size=fleet.size, seed=11 + 97 * shard))
+        if shard is None:
+            return wl.next_request
+
+        def sharded(i, wl=wl, prefix=f"g{shard}:"):
+            req = wl.next_request(i)
+            req["key"] = prefix + req["key"]
+            return req
+        return sharded
+    if fleet.workload == "txn":
+        wl = (TxnWorkload(packet_size=fleet.size) if shard is None
+              else TxnWorkload(packet_size=fleet.size, seed=13 + 97 * shard))
+        return wl.next_request
+    if fleet.workload == "twitter":
+        wl = (TwitterWorkload(packet_size=fleet.size) if shard is None
+              else TwitterWorkload(packet_size=fleet.size,
+                                   seed=17 + 97 * shard))
+        return wl.next_request
+    raise ValueError(f"unknown workload {fleet.workload!r}")
+
+
+def _build_fleet(scenario: Scenario, fleet: FleetSpec) -> None:
+    port = scenario.clients[fleet.client]
+    if fleet.dst.startswith("shard:"):
+        app = scenario.app(fleet.dst.split(":", 1)[1])
+        targets = [(idx, leader) for idx, leader in enumerate(app.leaders)]
+    else:
+        targets = [(None, fleet.dst)]
+    for shard, dst in targets:
+        factory = _make_workload(fleet, shard)
+        seed = fleet.seed if shard is None else fleet.seed + 1000 * shard
+        if fleet.mode == "closed":
+            gen = port.closed_loop(
+                dst=dst, clients=fleet.clients, size=fleet.size,
+                payload_factory=factory, rng=Rng(seed),
+                think_time_us=fleet.think_time_us)
+        else:
+            gen = port.open_loop(
+                dst=dst, rate_mpps=fleet.rate_mpps / len(targets),
+                size=fleet.size, payload_factory=factory,
+                rng=Rng(seed), poisson=fleet.poisson)
+        scenario.generators.append(gen)
+
+
+# -- the entry point ----------------------------------------------------------
+
+def build(spec: ScenarioSpec, sim: Optional[Simulator] = None) -> Scenario:
+    """Assemble the whole simulation a spec describes.
+
+    Construction order is part of the contract (it fixes the event
+    schedule): simulator → fabric → trace plane → fault plane → servers
+    in rack order → apps in spec order → client ports → fleets → fault
+    wiring.  Pass ``sim`` to build inside an existing simulator (e.g.
+    one instrumented by a SanitizerSession).
+    """
+    spec.validate()
+    sim = sim or Simulator()
+    network = make_fabric(sim, spec.fabric, spec.racks)
+    scenario = Scenario(spec=spec, sim=sim, network=network)
+
+    if spec.observability.trace:
+        from ..obs import TracePlane
+        scenario.trace_plane = TracePlane(sim)
+
+    if spec.faults:
+        plane = FaultPlane(sim, seed=spec.seed)
+        for decl in spec.faults:
+            plane.add(FaultSpec(
+                kind=decl.kind, target=decl.target, node=decl.node,
+                probability=decl.probability, every_nth=decl.every_nth,
+                at_us=tuple(decl.at_us), period_us=decl.period_us,
+                start_us=decl.start_us, stop_us=decl.stop_us,
+                duration_us=decl.duration_us, max_count=decl.max_count))
+        scenario.fault_plane = plane
+
+    delay = spec.observability.recovery_restart_delay_us
+    if delay is not None:
+        scenario.recovery = RecoveryPolicy(restart_delay_us=delay)
+
+    for rack in spec.racks:
+        for sspec in rack.servers:
+            config = (SchedulerConfig(**sspec.scheduler_kwargs())
+                      if sspec.scheduler else None)
+            scenario.servers[sspec.name] = make_server(
+                sim, network, sspec.name, resolve_nic(sspec.nic),
+                system=sspec.system, config=config,
+                host_workers=sspec.host_workers,
+                host_cores=sspec.host_cores, reliable=sspec.reliable,
+                fault_plane=scenario.fault_plane,
+                recovery=scenario.recovery)
+
+    for app in spec.apps:
+        scenario.apps.append(_build_app(scenario, app))
+
+    # workload-kind routing: only when generated traffic carries payload
+    # kinds (hand-driven scenarios — chaos, scheduler traces — install
+    # their own shims)
+    if any(f.workload != "none" for f in spec.fleets):
+        for app in scenario.apps:
+            if app.kind in ("rkv", "dt", "rta"):
+                for group in app.groups:
+                    for name in group:
+                        _install_payload_router(scenario, name)
+
+    for rack in spec.racks:
+        for cspec in rack.clients:
+            port = ClientPort(sim, network, cspec.name)
+            network.attach(cspec.name, port.receive, rack=rack.name)
+            scenario.clients[cspec.name] = port
+
+    for fleet in spec.fleets:
+        _build_fleet(scenario, fleet)
+
+    if scenario.fault_plane is not None:
+        scenario.fault_plane.wire_network(network)
+
+    return scenario

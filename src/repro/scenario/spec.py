@@ -1,0 +1,446 @@
+"""Declarative scenario specs: racks, servers, fabric, apps, workloads.
+
+A :class:`ScenarioSpec` is a plain dataclass tree describing one whole
+simulated deployment — the multi-rack fabric, per-server NIC models and
+host resources, application placement (sharded/replicated across racks),
+client fleets, fault schedules, and observability — with nothing
+imperative in it.  Specs can be written in Python, loaded from JSON (or
+TOML where the interpreter ships ``tomllib``), canonicalised for the
+sweep result cache, and handed to :func:`repro.scenario.build` to
+assemble the simulation.
+
+The design goal (ROADMAP: "as many scenarios as you can imagine") is
+that a new deployment — say, three racks of sharded RKV with cross-rack
+Paxos and an open-loop fleet standing in for a million client
+connections — is ~30 lines of data, not a new experiment module.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..nic import (
+    BLUEFIELD_1M332A,
+    LIQUIDIO_CN2350,
+    LIQUIDIO_CN2360,
+    NicSpec,
+    STINGRAY_PS225,
+)
+from ..sim.faults import ALL_KINDS
+
+SPEC_VERSION = 1
+
+#: Every simulated NIC model, addressable by model string or short alias.
+NIC_CATALOG: Dict[str, NicSpec] = {}
+for _spec in (LIQUIDIO_CN2350, LIQUIDIO_CN2360, BLUEFIELD_1M332A,
+              STINGRAY_PS225):
+    NIC_CATALOG[_spec.model] = _spec
+NIC_CATALOG.update({
+    "cn2350": LIQUIDIO_CN2350,
+    "cn2360": LIQUIDIO_CN2360,
+    "bluefield": BLUEFIELD_1M332A,
+    "stingray": STINGRAY_PS225,
+})
+
+SYSTEMS = ("ipipe", "ipipe-hostonly", "dpdk", "floem")
+APP_KINDS = ("rkv", "dt", "rta", "firewall", "ipsec", "none")
+WORKLOAD_KINDS = ("kv", "txn", "twitter", "none")
+FLEET_MODES = ("closed", "open")
+
+
+class ScenarioError(ValueError):
+    """A spec failed validation; ``problems`` lists every finding."""
+
+    def __init__(self, problems: Sequence[str]):
+        self.problems = list(problems)
+        super().__init__("; ".join(self.problems))
+
+
+def resolve_nic(ref) -> NicSpec:
+    """A NicSpec from a catalog name, alias, or an actual NicSpec."""
+    if isinstance(ref, NicSpec):
+        return ref
+    try:
+        return NIC_CATALOG[ref]
+    except KeyError:
+        raise ScenarioError(
+            [f"unknown NIC {ref!r} (have {sorted(NIC_CATALOG)})"]) from None
+
+
+# -- the spec tree ------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ServerSpec:
+    """One server box: NIC model, runtime system, host resources."""
+
+    name: str
+    nic: str = LIQUIDIO_CN2350.model
+    system: str = "ipipe"          # ipipe | ipipe-hostonly | dpdk | floem
+    host_workers: Optional[int] = None
+    host_cores: Optional[int] = None
+    reliable: bool = False
+    #: SchedulerConfig field overrides (e.g. {"migration_enabled": False})
+    scheduler: Tuple[Tuple[str, Any], ...] = ()
+
+    def scheduler_kwargs(self) -> Dict[str, Any]:
+        return dict(self.scheduler)
+
+
+@dataclass(frozen=True)
+class ClientSpec:
+    """A client box with a dumb NIC running workload generators."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class RackSpec:
+    """One rack: a ToR subnet of servers and client boxes."""
+
+    name: str
+    servers: Tuple[ServerSpec, ...] = ()
+    clients: Tuple[ClientSpec, ...] = ()
+
+
+@dataclass(frozen=True)
+class FabricSpec:
+    """The wiring: port speeds, switch latencies, inter-rack runs."""
+
+    bandwidth_gbps: float = 10.0
+    propagation_us: float = 0.3
+    tor_latency_us: float = 0.45
+    spine_latency_us: float = 0.60
+    uplink_gbps: Optional[float] = None
+    inter_rack_propagation_us: float = 1.2
+
+
+@dataclass(frozen=True)
+class AppSpec:
+    """Application placement over the fabric's servers.
+
+    ``servers`` lists runtime names in placement order; with
+    ``shards > 1`` the list is dealt round-robin into ``shards`` replica
+    groups (so listing servers rack-by-rack interleaves every shard
+    across racks — cross-rack replication by construction).  Each RKV
+    replica group runs its own Paxos ring; ``dt`` takes the first server
+    as coordinator; ``rta`` aggregates on the first server.
+    """
+
+    kind: str                          # rkv | dt | rta | firewall | ipsec | none
+    servers: Tuple[str, ...] = ()      # default: every server in the spec
+    shards: int = 1
+    leader: Optional[str] = None       # rkv: initial leader (per-group: first)
+    options: Tuple[Tuple[str, Any], ...] = ()
+
+    def option(self, key: str, default=None):
+        return dict(self.options).get(key, default)
+
+    def replica_groups(self, all_servers: Sequence[str]
+                       ) -> List[List[str]]:
+        """Deal the placement into per-shard replica groups."""
+        servers = list(self.servers) or list(all_servers)
+        if self.shards <= 1:
+            return [servers]
+        return [servers[i::self.shards] for i in range(self.shards)]
+
+
+@dataclass(frozen=True)
+class FleetSpec:
+    """One client fleet: who sends what, to whom, and how hard.
+
+    ``dst`` is a server name, or ``"shard:<app-kind>"`` to split the
+    fleet across every shard leader of that app (keys route by hash).
+    ``connections`` documents the real-world connection count the fleet
+    stands in for (an open-loop rate models arbitrarily many remote
+    connections without one simulated process each).
+    """
+
+    client: str
+    dst: str
+    mode: str = "closed"               # closed | open
+    clients: int = 16                  # closed-loop concurrency per shard
+    rate_mpps: float = 0.0             # open-loop aggregate rate
+    size: int = 512
+    workload: str = "kv"               # kv | txn | twitter | none
+    seed: int = 5
+    think_time_us: float = 0.0
+    poisson: bool = True
+    connections: int = 0
+
+
+@dataclass(frozen=True)
+class FaultDecl:
+    """Declarative fault-plane entry (mirrors ``repro.sim.FaultSpec``)."""
+
+    kind: str
+    target: str = "*"
+    node: Optional[str] = None
+    probability: float = 0.0
+    every_nth: int = 0
+    at_us: Tuple[float, ...] = ()
+    period_us: float = 0.0
+    start_us: float = 0.0
+    stop_us: float = float("inf")
+    duration_us: float = 0.0
+    max_count: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class ObsSpec:
+    """Observability riders: TracePlane, recovery policy."""
+
+    trace: bool = False
+    recovery_restart_delay_us: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """The whole deployment, as data."""
+
+    name: str
+    racks: Tuple[RackSpec, ...]
+    fabric: FabricSpec = FabricSpec()
+    apps: Tuple[AppSpec, ...] = ()
+    fleets: Tuple[FleetSpec, ...] = ()
+    faults: Tuple[FaultDecl, ...] = ()
+    observability: ObsSpec = ObsSpec()
+    seed: int = 42
+    duration_us: float = 20_000.0
+    description: str = ""
+    version: int = SPEC_VERSION
+
+    # -- introspection --------------------------------------------------------
+    def server_specs(self) -> List[ServerSpec]:
+        return [s for rack in self.racks for s in rack.servers]
+
+    def server_names(self) -> List[str]:
+        return [s.name for s in self.server_specs()]
+
+    def client_names(self) -> List[str]:
+        return [c.name for rack in self.racks for c in rack.clients]
+
+    def rack_of(self, node: str) -> Optional[str]:
+        for rack in self.racks:
+            for s in rack.servers:
+                if s.name == node:
+                    return rack.name
+            for c in rack.clients:
+                if c.name == node:
+                    return rack.name
+        return None
+
+    def is_multi_rack(self) -> bool:
+        return len(self.racks) > 1
+
+    # -- validation -----------------------------------------------------------
+    def validate(self) -> "ScenarioSpec":
+        """Raise :class:`ScenarioError` listing every problem found."""
+        problems: List[str] = []
+        if not self.racks:
+            problems.append("no racks")
+        names = self.server_names() + self.client_names()
+        dupes = {n for n in names if names.count(n) > 1}
+        if dupes:
+            problems.append(f"duplicate node names: {sorted(dupes)}")
+        rack_names = [r.name for r in self.racks]
+        if len(set(rack_names)) != len(rack_names):
+            problems.append(f"duplicate rack names: {rack_names}")
+        for server in self.server_specs():
+            if server.system not in SYSTEMS:
+                problems.append(f"{server.name}: unknown system "
+                                f"{server.system!r} (have {SYSTEMS})")
+            if not isinstance(server.nic, NicSpec) \
+                    and server.nic not in NIC_CATALOG:
+                problems.append(f"{server.name}: unknown NIC {server.nic!r}")
+        known = set(self.server_names())
+        clients = set(self.client_names())
+        app_kinds = {a.kind for a in self.apps}
+        for app in self.apps:
+            if app.kind not in APP_KINDS:
+                problems.append(f"app: unknown kind {app.kind!r} "
+                                f"(have {APP_KINDS})")
+            for server in app.servers:
+                if server not in known:
+                    problems.append(f"app {app.kind}: unknown server "
+                                    f"{server!r}")
+            if app.shards < 1:
+                problems.append(f"app {app.kind}: shards must be >= 1")
+            elif app.shards > 1:
+                placed = list(app.servers) or list(known)
+                if len(placed) < app.shards:
+                    problems.append(
+                        f"app {app.kind}: {app.shards} shards need at "
+                        f"least that many servers (got {len(placed)})")
+            if app.leader is not None and app.leader not in known:
+                problems.append(f"app {app.kind}: unknown leader "
+                                f"{app.leader!r}")
+        for fleet in self.fleets:
+            if fleet.client not in clients:
+                problems.append(f"fleet: unknown client {fleet.client!r}")
+            if fleet.mode not in FLEET_MODES:
+                problems.append(f"fleet {fleet.client}: unknown mode "
+                                f"{fleet.mode!r}")
+            if fleet.workload not in WORKLOAD_KINDS:
+                problems.append(f"fleet {fleet.client}: unknown workload "
+                                f"{fleet.workload!r}")
+            if fleet.mode == "open" and fleet.rate_mpps <= 0:
+                problems.append(f"fleet {fleet.client}: open-loop needs "
+                                f"rate_mpps > 0")
+            if fleet.dst.startswith("shard:"):
+                kind = fleet.dst.split(":", 1)[1]
+                if kind not in app_kinds:
+                    problems.append(f"fleet {fleet.client}: dst "
+                                    f"{fleet.dst!r} names no declared app")
+            elif fleet.dst not in known:
+                problems.append(f"fleet {fleet.client}: unknown dst "
+                                f"{fleet.dst!r}")
+        for decl in self.faults:
+            if decl.kind not in ALL_KINDS:
+                problems.append(f"fault: unknown kind {decl.kind!r} "
+                                f"(have {sorted(ALL_KINDS)})")
+            if decl.node is not None and decl.node not in known:
+                problems.append(f"fault {decl.kind}: unknown node "
+                                f"{decl.node!r}")
+        if self.duration_us <= 0:
+            problems.append("duration_us must be positive")
+        if problems:
+            raise ScenarioError(problems)
+        return self
+
+
+# -- serialisation ------------------------------------------------------------
+
+def to_dict(spec: ScenarioSpec) -> Dict[str, Any]:
+    """Plain-data form (JSON/TOML-ready; tuples become lists)."""
+    def convert(obj):
+        if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+            out = {}
+            for f in dataclasses.fields(obj):
+                value = getattr(obj, f.name)
+                if value == f.default and not isinstance(value, tuple):
+                    # keep files terse: skip values at their default
+                    # (tuple fields always serialise: their default
+                    # sentinel is ())
+                    if f.default is not dataclasses.MISSING:
+                        continue
+                out[f.name] = convert(value)
+            return out
+        if isinstance(obj, (list, tuple)):
+            return [convert(v) for v in obj]
+        if isinstance(obj, float) and obj == float("inf"):
+            return "inf"
+        return obj
+    return convert(spec)
+
+
+def _pairs(value) -> Tuple[Tuple[str, Any], ...]:
+    """Option mappings arrive as dicts from JSON/TOML; specs store
+    hashable (key, value) pairs."""
+    if isinstance(value, dict):
+        return tuple(sorted(value.items()))
+    return tuple(tuple(item) for item in value)
+
+
+def from_dict(data: Dict[str, Any]) -> ScenarioSpec:
+    """Rebuild a spec from :func:`to_dict` output (or hand-written
+    JSON/TOML); unknown keys raise so typos do not silently no-op."""
+    def build(cls, payload):
+        known = {f.name: f for f in dataclasses.fields(cls)}
+        unknown = set(payload) - set(known)
+        if unknown:
+            raise ScenarioError(
+                [f"{cls.__name__}: unknown field(s) {sorted(unknown)}"])
+        kwargs = {}
+        for key, value in payload.items():
+            if key == "stop_us" and value == "inf":
+                value = float("inf")
+            kwargs[key] = value
+        return cls(**kwargs)
+
+    racks = []
+    for rack in data.get("racks", []):
+        servers = tuple(build(ServerSpec, {**s, "scheduler": _pairs(
+            s.get("scheduler", ()))}) for s in rack.get("servers", []))
+        clients = tuple(build(ClientSpec, c) for c in rack.get("clients", []))
+        racks.append(RackSpec(name=rack["name"], servers=servers,
+                              clients=clients))
+    apps = tuple(build(AppSpec, {**a, "servers": tuple(a.get("servers", ())),
+                                 "options": _pairs(a.get("options", ()))})
+                 for a in data.get("apps", []))
+    fleets = tuple(build(FleetSpec, f) for f in data.get("fleets", []))
+    faults = tuple(build(FaultDecl, {**d, "at_us": tuple(d.get("at_us", ()))})
+                   for d in data.get("faults", []))
+    obs = build(ObsSpec, data.get("observability", {}))
+    fabric = build(FabricSpec, data.get("fabric", {}))
+    top = {k: v for k, v in data.items()
+           if k not in ("racks", "apps", "fleets", "faults", "observability",
+                        "fabric")}
+    return build(ScenarioSpec, {
+        **top, "racks": tuple(racks), "fabric": fabric, "apps": apps,
+        "fleets": fleets, "faults": faults, "observability": obs})
+
+
+def to_json(spec: ScenarioSpec, indent: int = 2) -> str:
+    return json.dumps(to_dict(spec), indent=indent, sort_keys=False) + "\n"
+
+
+def from_json(text: str) -> ScenarioSpec:
+    return from_dict(json.loads(text))
+
+
+def from_toml(text: str) -> ScenarioSpec:
+    """TOML specs need ``tomllib`` (Python >= 3.11); gated, not required."""
+    try:
+        import tomllib
+    except ImportError:  # pragma: no cover - version-dependent
+        raise ScenarioError(
+            ["TOML specs need Python >= 3.11 (tomllib); "
+             "use the JSON form instead"]) from None
+    return from_dict(tomllib.loads(text))
+
+
+def from_file(path: str) -> ScenarioSpec:
+    """Load a spec from a ``.json`` or ``.toml`` file."""
+    with open(path, "r", encoding="utf-8") as fh:
+        text = fh.read()
+    if str(path).endswith(".toml"):
+        return from_toml(text)
+    return from_json(text)
+
+
+def canonical_key(spec: ScenarioSpec) -> str:
+    """Stable string form for cache keys (see ``repro.exec.cache``).
+
+    Dataclass canonicalisation is field-ordered and address-free, so
+    logically-equal specs produce equal keys across processes.
+    """
+    from ..exec.cache import canonical
+    return canonical(spec)
+
+
+# -- convenience constructors -------------------------------------------------
+
+def single_rack(name: str, servers: Sequence[ServerSpec],
+                clients: Sequence[str] = ("client",),
+                fabric: Optional[FabricSpec] = None,
+                **kwargs) -> ScenarioSpec:
+    """The paper's topology: one ToR, N servers, client boxes."""
+    rack = RackSpec(name="rack0", servers=tuple(servers),
+                    clients=tuple(ClientSpec(c) for c in clients))
+    return ScenarioSpec(name=name, racks=(rack,),
+                        fabric=fabric or FabricSpec(), **kwargs)
+
+
+def three_servers(nic: str = LIQUIDIO_CN2350.model, system: str = "ipipe",
+                  host_workers: Optional[int] = None,
+                  reliable: bool = False,
+                  scheduler: Tuple[Tuple[str, Any], ...] = ()
+                  ) -> Tuple[ServerSpec, ...]:
+    """The s0/s1/s2 deployment every paper application runs on (§5.1)."""
+    return tuple(ServerSpec(name=f"s{i}", nic=nic, system=system,
+                            host_workers=host_workers, reliable=reliable,
+                            scheduler=scheduler)
+                 for i in range(3))

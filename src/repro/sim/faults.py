@@ -241,7 +241,12 @@ class FaultPlane:
         self._links.append(link)
 
     def wire_network(self, network) -> None:
-        """Wire every uplink and switch egress link currently attached."""
+        """Wire every link of the fabric currently attached: node
+        uplinks, ToR downlinks, and (multi-rack) the ToR↔spine pairs."""
+        if hasattr(network, "links"):
+            for link in network.links():
+                self.wire_link(link)
+            return
         for link in network._uplinks.values():
             self.wire_link(link)
         for link in network.switch._egress.values():

@@ -91,9 +91,15 @@ def test_check_rejects_single_replay(capsys):
         main(["check", "fig16", "--quick", "--replay", "1"])
 
 
-def test_check_targets_cover_scheduler_dataplane_and_chaos():
-    assert set(CHECK_TARGETS) == {
-        "fig5", "fig16", "chaos-rkv", "chaos-dt", "chaos-rta"}
+def test_check_targets_cover_scheduler_dataplane_chaos_and_scenarios():
+    assert {"fig5", "fig16", "chaos-rkv", "chaos-dt",
+            "chaos-rta"} <= set(CHECK_TARGETS)
+    # every shipped scenario spec is a check target
+    from repro.scenario import shipped_specs
+    names = shipped_specs()
+    assert names  # the package ships specs
+    for name in names:
+        assert f"scenario-{name}" in CHECK_TARGETS
 
 
 # -- repro bench --check --------------------------------------------------------
