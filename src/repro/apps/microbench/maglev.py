@@ -1,79 +1,12 @@
 """Maglev consistent-hashing load balancer (Table 3: "Load balancer" [18]).
 
-Implements Google's Maglev permutation-table construction: each backend
-generates a permutation of table slots from two hashes; slots are filled
-round-robin so every backend owns an almost-equal share, and backend
-failures only remap the failed backend's slots.
+The table implementation graduated into the fabric steering layer —
+see :mod:`repro.net.steering` — and is re-exported here so the
+microbench keeps its historical import path.
 """
 
 from __future__ import annotations
 
-import zlib
-from typing import List, Optional, Sequence
+from ...net.steering import MaglevTable, _hash
 
-
-def _hash(name: str, salt: str) -> int:
-    return zlib.crc32(f"{salt}:{name}".encode()) & 0x7FFFFFFF
-
-
-class MaglevTable:
-    """The Maglev lookup table over a set of backends."""
-
-    #: Maglev uses a prime table size; 65537 in the paper, smaller here by
-    #: default to keep construction fast in tests.
-    def __init__(self, backends: Sequence[str], table_size: int = 2039):
-        if table_size < 2:
-            raise ValueError("table size must be >= 2")
-        self.table_size = table_size
-        self.backends: List[str] = list(backends)
-        self.lookup_table: List[Optional[str]] = [None] * table_size
-        if self.backends:
-            self._populate()
-
-    def _permutation(self, backend: str) -> List[int]:
-        offset = _hash(backend, "offset") % self.table_size
-        skip = _hash(backend, "skip") % (self.table_size - 1) + 1
-        return [(offset + j * skip) % self.table_size
-                for j in range(self.table_size)]
-
-    def _populate(self) -> None:
-        permutations = {b: self._permutation(b) for b in self.backends}
-        next_idx = {b: 0 for b in self.backends}
-        table: List[Optional[str]] = [None] * self.table_size
-        filled = 0
-        while filled < self.table_size:
-            for backend in self.backends:
-                perm = permutations[backend]
-                idx = next_idx[backend]
-                while idx < self.table_size and table[perm[idx]] is not None:
-                    idx += 1
-                if idx >= self.table_size:
-                    next_idx[backend] = idx
-                    continue
-                table[perm[idx]] = backend
-                next_idx[backend] = idx + 1
-                filled += 1
-                if filled == self.table_size:
-                    break
-        self.lookup_table = table
-
-    def pick(self, flow_key: str) -> str:
-        """Backend for a flow (consistent across table rebuilds)."""
-        if not self.backends:
-            raise RuntimeError("no backends")
-        return self.lookup_table[_hash(flow_key, "flow") % self.table_size]
-
-    def remove_backend(self, backend: str) -> None:
-        self.backends.remove(backend)
-        if self.backends:
-            self._populate()
-        else:
-            self.lookup_table = [None] * self.table_size
-
-    def add_backend(self, backend: str) -> None:
-        self.backends.append(backend)
-        self._populate()
-
-    def share(self, backend: str) -> float:
-        """Fraction of table slots owned by a backend."""
-        return sum(1 for b in self.lookup_table if b == backend) / self.table_size
+__all__ = ["MaglevTable", "_hash"]

@@ -24,7 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from ...core import Actor, Location, Message
+from ...core import Actor, Location, Message, MigrationState
 from ...nic.cores import WorkloadProfile
 from .lsm import LsmTree
 from .paxos import MultiPaxosNode, PaxosMessage
@@ -105,6 +105,47 @@ class RkvNode:
         self.memtable.byte_size = min(self.memtable.byte_size,
                                       self.memtable_limit // 2)
 
+    # -- cross-rack migration hooks (SteerPlane) -------------------------------
+    #: steering keys each actor re-registers with after a move.
+    STEERING_KEYS = {
+        "consensus": ["consensus", "rkv-put", "rkv-del"],
+        "memtable": ["memtable", "rkv-get"],
+        "sst_read": ["sst_read"],
+        "compaction": ["compaction"],
+    }
+
+    def detach(self) -> Dict:
+        """Checkpoint for a cross-rack move: the memtable contents.
+
+        The LSM/SSTable state, frozen runs, Paxos log and reply map all
+        live on this object and travel with it; only the DMO-resident
+        skip list needs re-materialising on the destination runtime.
+        """
+        return {"memtable": list(self.memtable.items()),
+                "bytes": self.memtable.byte_size}
+
+    def attach(self, runtime, state: Dict) -> None:
+        """Restore this node's four actors onto a new server's runtime."""
+        self.runtime = runtime
+        self.node = runtime.node_name
+        # the old ExecutionContext points at the abandoned runtime
+        self._paxos_ctx = None
+        for actor in (self.consensus, self.memtable_actor,
+                      self.sst_read, self.compaction):
+            actor.deregistered = False
+            actor.migration_state = MigrationState.RUNNING
+            actor._locked_by = None
+            actor.is_drr = False
+            actor.deficit = 0.0
+            runtime.register_actor(
+                actor, steering_keys=self.STEERING_KEYS[actor.name])
+        self.memtable = DmoSkipList(runtime.dmo, "memtable")
+        for key, value, deleted in state.get("memtable", []):
+            if deleted:
+                self.memtable.delete(key)
+            else:
+                self.memtable.insert(key, value)
+
     # -- paxos transport --------------------------------------------------------
     def _paxos_send(self, peer: str, pmsg: PaxosMessage) -> None:
         ctx = self._paxos_ctx
@@ -136,9 +177,15 @@ class RkvNode:
         else:  # client write/delete
             command = dict(msg.payload)
             command["op"] = "del" if msg.kind == "rkv-del" else "put"
+            # register the reply *before* proposing: a single-replica
+            # group (quorum 1) commits synchronously inside
+            # client_request, and _on_commit must find the client packet
+            expected = self.paxos.next_instance
+            if msg.packet is not None:
+                self._pending_replies[expected] = msg
             instance = self.paxos.client_request(command)
-            if instance is not None and msg.packet is not None:
-                self._pending_replies[instance] = msg
+            if instance is None and msg.packet is not None:
+                self._pending_replies.pop(expected, None)
 
     # -- memtable actor ---------------------------------------------------------------
     def _memtable_handler(self, actor: Actor, msg: Message, ctx):

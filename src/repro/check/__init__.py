@@ -17,6 +17,7 @@ from .monitors import (
     PaxosMonitor,
     RingMonitor,
     SchedulerMonitor,
+    SteeringMonitor,
     Violation,
 )
 from .plane import CheckPlane
@@ -45,6 +46,7 @@ __all__ = [
     "RULES",
     "SanitizerSession",
     "SchedulerMonitor",
+    "SteeringMonitor",
     "StepRecord",
     "StepRecorder",
     "TieWarning",

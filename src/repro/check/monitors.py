@@ -28,6 +28,10 @@ The invariants:
   and nothing below the release point is ever stashed.
 * **PaxosMonitor** — at most one value is ever chosen per log instance
   across a replica group (the Paxos safety property).
+* **SteeringMonitor** — every steered request reaches the backend that
+  owns its key in the request's epoch, per-flow affinity is stable
+  within an epoch, and no request is handed to two different backends
+  in the same epoch (steering safety during live migration).
 """
 
 from __future__ import annotations
@@ -298,3 +302,71 @@ class PaxosMonitor:
                         yield (f"group {group!r} instance {instance}: "
                                f"log of {node.name!r} holds {entry.value!r} "
                                f"but {prior[1]!r} holds {prior[0]!r}")
+
+
+class SteeringMonitor:
+    """Steering safety across epochs (SteerPlane, §5 extension).
+
+    Scans the controller's decision and delivery ledgers incrementally:
+
+    * **ownership** — every routing decision and every delivery lands on
+      the backend that owns the flow's key *in the epoch stamped on the
+      request* (forwarded packets are restamped with the post-repoint
+      epoch, so the forwarding window satisfies this by construction);
+    * **affinity** — within one epoch a flow never changes backend;
+    * **exactly-once** — no request uid is handed to a live actor on two
+      *different* backends in the *same* epoch (a retransmit answered by
+      the same backend is the retry path, not a violation; a re-delivery
+      in a later epoch is the client restearing after a move).
+    """
+
+    name = "steering"
+
+    def __init__(self, controller):
+        self.controller = controller
+        self.component = "steerplane"
+        self._decision_idx = 0
+        self._delivery_idx = 0
+        #: (service, flow, epoch) -> backend pinned first
+        self._affinity: Dict[Tuple[str, str, int], str] = {}
+        #: (service, uid) -> {epoch: backend first delivered to}
+        self._delivered: Dict[Tuple[str, Any], Dict[int, str]] = {}
+
+    def _owner_ok(self, service: str, epoch: int, flow: str,
+                  backend: str) -> Optional[str]:
+        owner = self.controller.owner_at(service, epoch, flow)
+        if owner is not None and owner != backend:
+            return (f"service {service!r} epoch {epoch} flow {flow!r}: "
+                    f"routed to {backend!r} but epoch owner is {owner!r}")
+        return None
+
+    def check(self, now: float) -> Iterator[str]:
+        decisions = self.controller.decisions
+        while self._decision_idx < len(decisions):
+            _, service, flow, backend, epoch = decisions[self._decision_idx]
+            self._decision_idx += 1
+            bad = self._owner_ok(service, epoch, flow, backend)
+            if bad is not None:
+                yield "decision: " + bad
+            key = (service, flow, epoch)
+            pinned = self._affinity.setdefault(key, backend)
+            if pinned != backend:
+                yield (f"affinity: service {service!r} flow {flow!r} "
+                       f"epoch {epoch}: pinned to {pinned!r} but steered "
+                       f"to {backend!r}")
+        deliveries = self.controller.deliveries
+        while self._delivery_idx < len(deliveries):
+            (_, service, uid, backend,
+             epoch, flow) = deliveries[self._delivery_idx]
+            self._delivery_idx += 1
+            bad = self._owner_ok(service, epoch, flow, backend)
+            if bad is not None:
+                yield "delivery: " + bad
+            if uid is None:
+                continue
+            seen = self._delivered.setdefault((service, uid), {})
+            first = seen.setdefault(epoch, backend)
+            if first != backend:
+                yield (f"exactly-once: service {service!r} request "
+                       f"{uid!r} epoch {epoch}: delivered to {backend!r} "
+                       f"after {first!r}")

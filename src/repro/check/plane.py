@@ -39,6 +39,7 @@ from .monitors import (
     PaxosMonitor,
     RingMonitor,
     SchedulerMonitor,
+    SteeringMonitor,
     Violation,
 )
 
@@ -65,6 +66,7 @@ class CheckPlane:
         self._disabled: set = set()
         self._tick = self.every
         self._paxos: Optional[PaxosMonitor] = None
+        self._steering: Optional[SteeringMonitor] = None
         sim.checker = self
 
     def uninstall(self) -> None:
@@ -124,6 +126,14 @@ class CheckPlane:
         for node in nodes:
             self._paxos.watch(group, node)
         return self._paxos
+
+    def watch_steering(self, controller) -> SteeringMonitor:
+        """Watch a SteeringController for ownership/affinity/exactly-once
+        violations (one monitor per plane; repeat calls return it)."""
+        if self._steering is None:
+            self._steering = SteeringMonitor(controller)
+            self.add_monitor(self._steering)
+        return self._steering
 
     # -- checking ---------------------------------------------------------
     def check_now(self) -> None:

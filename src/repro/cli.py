@@ -363,7 +363,8 @@ def _scenario_names() -> tuple:
 #: study (fig16), the characterization dataplane (fig5), the three
 #: chaos scenarios (full fault-injection + recovery paths), and every
 #: shipped scenario spec (as ``scenario-<name>``).
-CHECK_TARGETS = ("fig5", "fig16", "chaos-rkv", "chaos-dt", "chaos-rta"
+CHECK_TARGETS = ("fig5", "fig16", "chaos-rkv", "chaos-dt", "chaos-rta",
+                 "steering-chaos"
                  ) + tuple(f"scenario-{name}" for name in _scenario_names())
 
 
@@ -389,6 +390,13 @@ def _check_run_fn(target: str, quick: bool, seed: int | None):
             kwargs["duration_us"] = 3_000.0
         return lambda: traffic_manager_experiment(frame_bytes=512, cores=6,
                                                   **kwargs)
+    if target == "steering-chaos":
+        from .experiments.steering_study import rebalance_point
+        kwargs = {"seed": 42 if seed is None else seed}
+        if quick:
+            kwargs.update(duration_us=20_000.0, n_requests=40,
+                          send_gap_us=300.0, notice_us=3_000.0)
+        return lambda: rebalance_point(**kwargs)
     if target.startswith("scenario-"):
         import dataclasses
         from .scenario import load_shipped, run_scenario

@@ -221,6 +221,23 @@ class IPipeRuntime:
         self._migration_buffers: Dict[str, List[Message]] = {}
         self.migrator = Migrator(self)
 
+        #: SteerPlane state (cross-rack migration, see core/migration.py):
+        #: forwarding tombstones map a dispatch key that left this node to
+        #: (new home, post-repoint epoch); packets that were steered under
+        #: the old epoch are re-addressed there during the forwarding
+        #: window instead of being dropped.
+        self.forwarding: Dict[str, tuple] = {}
+        self.forwarded_cross_rack = 0
+        #: request uids seen at this node; while a migration's forwarding
+        #: window is open (``steer_suppress_active``) a retransmit of a
+        #: seen uid is dropped so it cannot race the repoint and execute
+        #: on both the old and the new backend.
+        self._steer_seen: set = set()
+        self.steer_suppressed = 0
+        self.steer_suppress_active = False
+        #: SteeringController delivery-note hook (set by scenario.build)
+        self.steer_note: Optional[Callable[[Packet], None]] = None
+
         #: crash / restart machinery (FaultPlane recovery path)
         self.recovery = recovery
         self.fault_plane = None
@@ -419,8 +436,12 @@ class IPipeRuntime:
                 self._host_direct_rx(packet)
                 return
             switch.steered_nic += 1
+        if self._steer_suppress(packet):
+            return
         target = self.dispatch_table.get(packet.kind)
         if target is None:
+            if self._steer_forward(packet):
+                return
             return  # not for us: drop (endpoint semantics)
         payload, kind = packet.payload, packet.kind
         if isinstance(payload, dict) and "kind" in payload and "payload" in payload:
@@ -450,6 +471,15 @@ class IPipeRuntime:
         if actor.migration_state in (MigrationState.PREPARE, MigrationState.READY):
             self._migration_buffers.setdefault(actor.name, []).append(msg)
             return
+        pkt = msg.packet
+        if (self.steer_note is not None and pkt is not None
+                and pkt.meta.get("steer_epoch") is not None
+                and not pkt.meta.get("steer_noted")):
+            # first hand-off to a live actor: record the delivery for the
+            # SteeringMonitor (the flag keeps a buffered-then-forwarded
+            # request from being counted on both sides of a migration)
+            pkt.meta["steer_noted"] = True
+            self.steer_note(pkt)
         if actor.location is Location.HOST:
             # NIC core work: forwarding + channel DMA issue
             cost = (self.nic.forward_cost(msg.size)
@@ -465,8 +495,11 @@ class IPipeRuntime:
     def _host_direct_rx(self, packet: Packet) -> None:
         """Off-path bypass delivery: the NIC switch DMAs straight to host
         rings without touching NIC cores."""
+        if self._steer_suppress(packet):
+            return
         target = self.dispatch_table.get(packet.kind)
         if target is None:
+            self._steer_forward(packet)
             return
         payload, kind = packet.payload, packet.kind
         if isinstance(payload, dict) and "kind" in payload and "payload" in payload:
@@ -497,6 +530,43 @@ class IPipeRuntime:
                 switch.install_rule(key, "host")
             else:
                 switch.remove_rule(key)
+
+    def _steer_suppress(self, packet: Packet) -> bool:
+        """Duplicate suppression for the cross-rack forwarding window.
+
+        Marks every uid-carrying wire arrival as seen; while a window is
+        open, a retransmit of a seen uid is dropped (True) so it cannot
+        execute on both the draining and the restored backend.  Packets
+        the migrator itself forwarded bypass the check — they *are* the
+        single surviving copy of the original request.
+        """
+        uid = packet.meta.get("req_uid")
+        if uid is None:
+            return False
+        if (self.steer_suppress_active
+                and not packet.meta.get("steer_forwarded")
+                and uid in self._steer_seen):
+            self.steer_suppressed += 1
+            return True
+        self._steer_seen.add(uid)
+        return False
+
+    def _steer_forward(self, packet: Packet) -> bool:
+        """Forwarding-window tombstone: re-address a stale-steered packet
+        to the dispatch key's post-migration home (phase-4 semantics,
+        extended across the fabric)."""
+        entry = self.forwarding.get(packet.kind)
+        if entry is None:
+            return False
+        new_home, epoch = entry
+        packet.dst = new_home
+        packet.meta["steer_forwarded"] = True
+        if "steer_epoch" in packet.meta:
+            # the repointed table owns the flow at the new home
+            packet.meta["steer_epoch"] = epoch
+        self.forwarded_cross_rack += 1
+        self.transmit_from(Location.NIC, packet)
+        return True
 
     def _nic_send_or_drop(self, msg: Message) -> None:
         """Cross the NIC→host ring.  Without the reliable layer a full

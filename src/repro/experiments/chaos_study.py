@@ -105,12 +105,17 @@ class ChaosClient:
                      kind=state["kind"], payload=state["payload"],
                      created_at=self.sim.now)
         pkt.meta["chaos_id"] = rid
+        self.decorate(pkt, rid)
         self.network.send(pkt)
         if state["attempts"] < self.max_attempts:
             # exponential timeout scaling, capped: late recoveries (actor
             # restarts) take longer than a lost frame
             backoff = self.timeout_us * min(2 ** (state["attempts"] - 1), 8)
             self.sim.call_in(backoff, self._check, rid, state["attempts"])
+
+    def decorate(self, pkt: Packet, rid: int) -> None:
+        """Hook for subclasses to stamp extra metadata on every
+        (re)transmission — e.g. steering keys and request uids."""
 
     def _check(self, rid: int, attempt: int) -> None:
         state = self.outstanding.get(rid)
@@ -157,6 +162,9 @@ class ChaosReport:
     #: per-stage latency table from the TracePlane ({stage: {p50_us, ...}});
     #: empty when the scenario ran untraced
     stage_latencies: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: SteerPlane telemetry (epochs, forwards, suppressions, moves);
+    #: empty unless the scenario ran with fabric steering
+    steering: Dict[str, object] = field(default_factory=dict)
     #: the TracePlane itself, for Chrome-trace export (not part of the
     #: replay fingerprint)
     trace_plane: Optional[TracePlane] = field(default=None, repr=False,
@@ -179,8 +187,11 @@ class ChaosReport:
                 snap.core_failures, snap.core_stalls,
                 round(snap.mttr_mean_us, 6), round(snap.mttr_max_us, 6),
             ))
-        return (tuple(self.fault_schedule), tuple(per_node),
+        base = (tuple(self.fault_schedule), tuple(per_node),
                 self.answered, self.client_retransmits)
+        if self.steering:
+            return base + (tuple(sorted(self.steering.items())),)
+        return base
 
     def summary(self) -> str:
         mttrs = [s.mttr_mean_us for s in self.recovery.values()

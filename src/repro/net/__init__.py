@@ -17,6 +17,13 @@ from .link import DuplexPort, Link
 from .switch import SpineSwitch, ToRSwitch
 from .fabric import Fabric, Network
 from .pktgen import ClosedLoopGenerator, OpenLoopGenerator
+from .steering import (
+    MaglevTable,
+    MovableBackend,
+    RebalancePolicy,
+    Rebalancer,
+    SteeringController,
+)
 
 __all__ = [
     "FCS_BYTES",
@@ -38,4 +45,9 @@ __all__ = [
     "ToRSwitch",
     "ClosedLoopGenerator",
     "OpenLoopGenerator",
+    "MaglevTable",
+    "MovableBackend",
+    "RebalancePolicy",
+    "Rebalancer",
+    "SteeringController",
 ]

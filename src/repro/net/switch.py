@@ -38,6 +38,8 @@ class ToRSwitch:
         self._egress: Dict[str, Link] = {}
         #: link toward the spine switch; None for a standalone (star) ToR
         self.uplink: Optional[Link] = None
+        #: SteeringController resolving service VIPs to backends, if any
+        self.steering = None
         self.forwarded = 0
         self.dropped = 0
 
@@ -48,6 +50,9 @@ class ToRSwitch:
     def ingest(self, packet: Packet) -> None:
         """Receive a frame from any ingress port and forward it."""
         egress = self._egress.get(packet.dst)
+        if (egress is None and self.steering is not None
+                and self.steering.route(packet)):
+            egress = self._egress.get(packet.dst)
         if egress is None:
             if self.uplink is not None:
                 self.forwarded += 1
@@ -83,6 +88,8 @@ class SpineSwitch:
         self.forwarding_latency_us = forwarding_latency_us
         self._egress: Dict[str, Link] = {}   # rack -> downlink to its ToR
         self._rack_of: Dict[str, str] = {}   # node -> rack
+        #: SteeringController resolving service VIPs to backends, if any
+        self.steering = None
         self.forwarded = 0
         self.dropped = 0
 
@@ -96,6 +103,9 @@ class SpineSwitch:
 
     def ingest(self, packet: Packet) -> None:
         rack = self._rack_of.get(packet.dst)
+        if (rack is None and self.steering is not None
+                and self.steering.route(packet)):
+            rack = self._rack_of.get(packet.dst)
         egress = self._egress.get(rack) if rack is not None else None
         if egress is None:
             self.dropped += 1

@@ -20,9 +20,11 @@ from .spec import (
     NIC_CATALOG,
     ObsSpec,
     RackSpec,
+    RebalanceSpec,
     ScenarioError,
     ScenarioSpec,
     ServerSpec,
+    SteeringSpec,
     from_dict,
     from_file,
     from_json,
@@ -59,12 +61,14 @@ __all__ = [
     "NIC_CATALOG",
     "ObsSpec",
     "RackSpec",
+    "RebalanceSpec",
     "Scenario",
     "ScenarioError",
     "ScenarioResult",
     "ScenarioSpec",
     "Server",
     "ServerSpec",
+    "SteeringSpec",
     "build",
     "from_dict",
     "from_file",

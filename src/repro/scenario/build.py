@@ -133,6 +133,10 @@ class Scenario:
     fault_plane: Optional[FaultPlane] = None
     trace_plane: Optional[object] = None
     recovery: Optional[RecoveryPolicy] = None
+    #: SteeringController when the spec declares steered services
+    steering: Optional[object] = None
+    #: Rebalancer driving cross-rack migration on rack outages
+    rebalancer: Optional[object] = None
 
     def server(self, name: str) -> Server:
         return self.servers[name]
@@ -424,15 +428,27 @@ def build(spec: ScenarioSpec, sim: Optional[Simulator] = None) -> Scenario:
     for app in spec.apps:
         scenario.apps.append(_build_app(scenario, app))
 
+    if spec.steering:
+        _build_steering(scenario)
+
     # workload-kind routing: only when generated traffic carries payload
     # kinds (hand-driven scenarios — chaos, scheduler traces — install
     # their own shims)
     if any(f.workload != "none" for f in spec.fleets):
+        covered = set()
         for app in scenario.apps:
             if app.kind in ("rkv", "dt", "rta"):
                 for group in app.groups:
                     for name in group:
                         _install_payload_router(scenario, name)
+                        covered.add(name)
+        if spec.steering:
+            # any server may inherit a steered backend after a rebalance,
+            # so every runtime must understand the fleets' wire format
+            for name in sorted(scenario.servers):
+                runtime = scenario.servers[name].runtime
+                if name not in covered and hasattr(runtime, "_steer_seen"):
+                    _install_payload_router(scenario, name)
 
     for rack in spec.racks:
         for cspec in rack.clients:
@@ -446,4 +462,64 @@ def build(spec: ScenarioSpec, sim: Optional[Simulator] = None) -> Scenario:
     if scenario.fault_plane is not None:
         scenario.fault_plane.wire_network(network)
 
+    if (spec.rebalance is not None and spec.steering
+            and scenario.fault_plane is not None):
+        _build_rebalancer(scenario)
+
     return scenario
+
+
+def _build_steering(scenario: Scenario) -> None:
+    """Install the SteeringController on every fabric switch and hook
+    the runtimes' delivery notes + the CheckPlane monitor."""
+    from ..net.steering import SteeringController
+    spec = scenario.spec
+    controller = SteeringController(scenario.sim)
+    scenario.steering = controller
+    for st in spec.steering:
+        backends = list(st.backends)
+        if not backends:
+            backends = list(scenario.app(st.app).leaders)
+        controller.add_service(st.service, backends,
+                               table_size=st.table_size,
+                               window_us=st.window_us)
+    for tor in scenario.network.switches.values():
+        controller.install(tor)
+    spine = scenario.network.spine
+    if spine is not None:
+        controller.install(spine)
+    for name in sorted(scenario.servers):
+        runtime = scenario.servers[name].runtime
+        if hasattr(runtime, "_steer_seen"):
+            runtime.steer_note = (
+                lambda pkt, _c=controller, _n=name: _c.note_delivery(_n, pkt))
+    checker = getattr(scenario.sim, "checker", None)
+    if checker is not None and hasattr(checker, "watch_steering"):
+        checker.watch_steering(controller)
+
+
+def _build_rebalancer(scenario: Scenario) -> None:
+    """Arm the rack-evacuation policy over the steered rkv backends."""
+    from ..core.migration import CrossRackMigrator
+    from ..net.steering import MovableBackend, RebalancePolicy, Rebalancer
+    spec = scenario.spec
+    service_name = spec.rebalance.service or spec.steering[0].service
+    st = next(s for s in spec.steering if s.service == service_name)
+    app = scenario.app(st.app)
+    backends: Dict[str, MovableBackend] = {}
+    for leader in app.leaders:
+        node = app.nodes[leader]
+        backends[leader] = MovableBackend(
+            actors=("consensus", "memtable", "sst_read", "compaction"),
+            detach=node.detach, attach=node.attach)
+    migrator = CrossRackMigrator(scenario.sim, steering=scenario.steering)
+    policy = RebalancePolicy(notice_us=spec.rebalance.notice_us,
+                             return_home=spec.rebalance.return_home,
+                             window_us=st.window_us)
+    scenario.rebalancer = Rebalancer(
+        scenario.sim, controller=scenario.steering, migrator=migrator,
+        policy=policy, service=st.service, backends=backends,
+        runtimes={n: s.runtime for n, s in scenario.servers.items()
+                  if hasattr(s.runtime, "_steer_seen")},
+        rack_of=scenario.network.rack_of,
+        fault_plane=scenario.fault_plane)

@@ -189,6 +189,32 @@ class FaultDecl:
 
 
 @dataclass(frozen=True)
+class SteeringSpec:
+    """One steered service: a VIP consistently hashed over backends.
+
+    Clients address ``svc:<service>``; the fabric switches resolve the
+    VIP through an epoch-versioned Maglev table with per-connection
+    affinity (see :mod:`repro.net.steering`).  ``backends`` defaults to
+    the shard leaders of ``app``.
+    """
+
+    service: str
+    app: Optional[str] = None          # app kind whose leaders back the VIP
+    backends: Tuple[str, ...] = ()     # explicit backend servers
+    table_size: int = 251
+    window_us: float = 2_000.0         # forwarding window after a repoint
+
+
+@dataclass(frozen=True)
+class RebalanceSpec:
+    """Policy reacting to rack outages with live cross-rack migration."""
+
+    service: str = ""                  # default: the first steering service
+    notice_us: float = 1_000.0         # evacuate this long before an outage
+    return_home: bool = True           # repatriate when the rack returns
+
+
+@dataclass(frozen=True)
 class ObsSpec:
     """Observability riders: TracePlane, recovery policy."""
 
@@ -206,6 +232,8 @@ class ScenarioSpec:
     apps: Tuple[AppSpec, ...] = ()
     fleets: Tuple[FleetSpec, ...] = ()
     faults: Tuple[FaultDecl, ...] = ()
+    steering: Tuple[SteeringSpec, ...] = ()
+    rebalance: Optional[RebalanceSpec] = None
     observability: ObsSpec = ObsSpec()
     seed: int = 42
     duration_us: float = 20_000.0
@@ -289,14 +317,70 @@ class ScenarioSpec:
             if fleet.mode == "open" and fleet.rate_mpps <= 0:
                 problems.append(f"fleet {fleet.client}: open-loop needs "
                                 f"rate_mpps > 0")
+        steering_names = [st.service for st in self.steering]
+        for fleet in self.fleets:
             if fleet.dst.startswith("shard:"):
                 kind = fleet.dst.split(":", 1)[1]
                 if kind not in app_kinds:
                     problems.append(f"fleet {fleet.client}: dst "
                                     f"{fleet.dst!r} names no declared app")
+            elif fleet.dst.startswith("svc:"):
+                service = fleet.dst.split(":", 1)[1]
+                if service not in steering_names:
+                    problems.append(
+                        f"fleet {fleet.client}: dst {fleet.dst!r} names no "
+                        f"declared steering service")
             elif fleet.dst not in known:
                 problems.append(f"fleet {fleet.client}: unknown dst "
                                 f"{fleet.dst!r}")
+        if len(set(steering_names)) != len(steering_names):
+            problems.append(f"duplicate steering services: {steering_names}")
+        for st in self.steering:
+            if not st.service:
+                problems.append("steering: service needs a name")
+            if st.app is None and not st.backends:
+                problems.append(f"steering {st.service}: needs an app or "
+                                f"explicit backends")
+            if st.app is not None and st.app not in app_kinds:
+                problems.append(f"steering {st.service}: app {st.app!r} not "
+                                f"declared")
+            for backend in st.backends:
+                if backend not in known:
+                    problems.append(f"steering {st.service}: unknown backend "
+                                    f"{backend!r}")
+            if st.table_size < 2:
+                problems.append(f"steering {st.service}: table_size must "
+                                f"be >= 2")
+            if st.window_us < 0:
+                problems.append(f"steering {st.service}: window_us must "
+                                f"be >= 0")
+        if self.rebalance is not None:
+            if not steering_names:
+                problems.append("rebalance: needs a steering service")
+            else:
+                service = self.rebalance.service or steering_names[0]
+                if service not in steering_names:
+                    problems.append(f"rebalance: unknown steering service "
+                                    f"{service!r}")
+                else:
+                    st = next(s for s in self.steering
+                              if s.service == service)
+                    if st.app != "rkv":
+                        problems.append(
+                            f"rebalance: service {service!r} must be backed "
+                            f"by app='rkv' (the only app with cross-rack "
+                            f"state hooks)")
+                    else:
+                        app = next(a for a in self.apps if a.kind == "rkv")
+                        groups = app.replica_groups(self.server_names())
+                        if any(len(g) > 1 for g in groups):
+                            problems.append(
+                                "rebalance: rkv replica groups must be "
+                                "single-server (peer Paxos names do not yet "
+                                "follow a migrated node)")
+            if self.rebalance.notice_us < 0:
+                problems.append("rebalance: notice_us must be >= 0")
+        rack_name_set = set(rack_names)
         for decl in self.faults:
             if decl.kind not in ALL_KINDS:
                 problems.append(f"fault: unknown kind {decl.kind!r} "
@@ -304,6 +388,9 @@ class ScenarioSpec:
             if decl.node is not None and decl.node not in known:
                 problems.append(f"fault {decl.kind}: unknown node "
                                 f"{decl.node!r}")
+            if decl.kind == "rack_down" and decl.target not in rack_name_set:
+                problems.append(f"fault rack_down: unknown rack "
+                                f"{decl.target!r}")
         if self.duration_us <= 0:
             problems.append("duration_us must be positive")
         if problems:
@@ -373,14 +460,21 @@ def from_dict(data: Dict[str, Any]) -> ScenarioSpec:
     fleets = tuple(build(FleetSpec, f) for f in data.get("fleets", []))
     faults = tuple(build(FaultDecl, {**d, "at_us": tuple(d.get("at_us", ()))})
                    for d in data.get("faults", []))
+    steering = tuple(
+        build(SteeringSpec, {**s, "backends": tuple(s.get("backends", ()))})
+        for s in data.get("steering", []))
+    rebalance_data = data.get("rebalance")
+    rebalance = (build(RebalanceSpec, rebalance_data)
+                 if rebalance_data is not None else None)
     obs = build(ObsSpec, data.get("observability", {}))
     fabric = build(FabricSpec, data.get("fabric", {}))
     top = {k: v for k, v in data.items()
-           if k not in ("racks", "apps", "fleets", "faults", "observability",
-                        "fabric")}
+           if k not in ("racks", "apps", "fleets", "faults", "steering",
+                        "rebalance", "observability", "fabric")}
     return build(ScenarioSpec, {
         **top, "racks": tuple(racks), "fabric": fabric, "apps": apps,
-        "fleets": fleets, "faults": faults, "observability": obs})
+        "fleets": fleets, "faults": faults, "steering": steering,
+        "rebalance": rebalance, "observability": obs})
 
 
 def to_json(spec: ScenarioSpec, indent: int = 2) -> str:

@@ -47,6 +47,7 @@ class FaultKind:
     CORE_STALL = "core_stall"      # one NIC core stops scheduling temporarily
     CORE_FAIL = "core_fail"        # one NIC core fails permanently
     ACTOR_CRASH = "actor_crash"    # an actor process dies (DMO state survives)
+    RACK_DOWN = "rack_down"        # whole rack dark: every server link + ToR
 
 
 #: kinds decided per matching datapath event (probability / every_nth)
@@ -58,7 +59,9 @@ SCHEDULED_KINDS = frozenset({
     FaultKind.RING_STALL, FaultKind.CORE_STALL, FaultKind.CORE_FAIL,
     FaultKind.ACTOR_CRASH,
 })
-ALL_KINDS = EVENT_KINDS | SCHEDULED_KINDS
+#: kinds that expand over a whole rack of the wired fabric
+RACK_KINDS = frozenset({FaultKind.RACK_DOWN})
+ALL_KINDS = EVENT_KINDS | SCHEDULED_KINDS | RACK_KINDS
 
 #: safety valve for unbounded period_us trains
 _MAX_PERIODIC_FIRES = 100_000
@@ -99,7 +102,20 @@ class FaultSpec:
             raise ValueError("probability must be in [0, 1]")
         if self.every_nth < 0:
             raise ValueError("every_nth must be >= 0")
-        if self.kind in EVENT_KINDS:
+        if self.kind in RACK_KINDS:
+            if self.probability or self.every_nth:
+                raise ValueError(
+                    f"{self.kind} is scheduled; use at_us, not "
+                    f"probability/every_nth")
+            if not self.at_us and self.period_us <= 0.0:
+                raise ValueError(f"{self.kind} needs at_us or period_us")
+            if self.duration_us <= 0.0:
+                raise ValueError(f"{self.kind} needs duration_us > 0")
+            if (self.period_us > 0.0 and self.stop_us == float("inf")
+                    and self.max_count is None):
+                raise ValueError(
+                    "periodic faults need stop_us or max_count (unbounded)")
+        elif self.kind in EVENT_KINDS:
             if self.at_us or self.period_us:
                 raise ValueError(
                     f"{self.kind} triggers per event; use probability or "
@@ -167,6 +183,10 @@ class FaultPlane:
         self._runtimes: List[object] = []
         self._links: List[object] = []
         self._rings: List[object] = []
+        #: callbacks invoked with ("down"|"up", rack_name) on rack events
+        self.rack_listeners: List = []
+        self._network = None
+        self._armed_rack_specs: set = set()
         for spec in specs or []:
             self.add(spec)
 
@@ -185,6 +205,8 @@ class FaultPlane:
         if spec.kind in SCHEDULED_KINDS:
             for runtime in self._runtimes:
                 self._arm_spec(idx, runtime)
+        if spec.kind in RACK_KINDS and self._network is not None:
+            self._arm_rack_spec(idx)
         return spec
 
     def _exhausted(self, idx: int) -> bool:
@@ -242,7 +264,12 @@ class FaultPlane:
 
     def wire_network(self, network) -> None:
         """Wire every link of the fabric currently attached: node
-        uplinks, ToR downlinks, and (multi-rack) the ToR↔spine pairs."""
+        uplinks, ToR downlinks, and (multi-rack) the ToR↔spine pairs.
+        Also arms any rack-level specs against the fabric topology."""
+        self._network = network
+        for idx, spec in enumerate(self.specs):
+            if spec.kind in RACK_KINDS:
+                self._arm_rack_spec(idx)
         if hasattr(network, "links"):
             for link in network.links():
                 self.wire_link(link)
@@ -300,6 +327,71 @@ class FaultPlane:
                 if fnmatchcase(ring.name, spec.target):
                     ring.stall(spec.duration_us)
                     self._record(idx, kind, ring.name)
+
+    # -- rack-level faults ----------------------------------------------------
+    def rack_down(self, name: str, at_us: float,
+                  duration_us: float) -> FaultSpec:
+        """Kill a whole rack: every server link + the ToR uplink go dark
+        for ``duration_us`` starting at ``at_us`` (one declaration)."""
+        return self.add(FaultSpec(kind=FaultKind.RACK_DOWN, target=name,
+                                  at_us=(at_us,), duration_us=duration_us))
+
+    def rack_schedule(self) -> List[Tuple[str, float, float]]:
+        """Planned rack outages as ``(rack, at_us, duration_us)``, sorted."""
+        outages = []
+        for spec in self.specs:
+            if spec.kind in RACK_KINDS:
+                for when in spec.fire_times():
+                    outages.append((spec.target, when, spec.duration_us))
+        return sorted(outages, key=lambda entry: (entry[1], entry[0]))
+
+    def _arm_rack_spec(self, idx: int) -> None:
+        if idx in self._armed_rack_specs:
+            return
+        self._armed_rack_specs.add(idx)
+        for when in self.specs[idx].fire_times():
+            self.sim.call_at(max(when, self.sim.now), self._fire_rack, idx)
+
+    def _rack_links(self, rack: str) -> List:
+        """Every link touching a rack: node up/downlinks + spine pair."""
+        network = self._network
+        links = []
+        node_rack = getattr(network, "_node_rack", {})
+        for name in sorted(n for n, r in node_rack.items() if r == rack):
+            links.append(network._uplinks[name])
+        tor = getattr(network, "switches", {}).get(rack)
+        if tor is not None:
+            for name in sorted(tor._egress):
+                links.append(tor._egress[name])
+            if tor.uplink is not None:
+                links.append(tor.uplink)
+        spine = getattr(network, "spine", None)
+        if spine is not None and rack in spine._egress:
+            links.append(spine._egress[rack])
+        return links
+
+    def _fire_rack(self, idx: int) -> None:
+        """Expand one rack outage into per-link total-loss windows."""
+        if self._exhausted(idx) or self._network is None:
+            return
+        spec = self.specs[idx]
+        rack = spec.target
+        stop = self.sim.now + spec.duration_us
+        for link in self._rack_links(rack):
+            self.add(FaultSpec(kind=FaultKind.LINK_LOSS, target=link.name,
+                               probability=1.0, start_us=self.sim.now,
+                               stop_us=stop))
+        self._record(idx, FaultKind.RACK_DOWN, rack)
+        for listener in list(self.rack_listeners):
+            listener("down", rack)
+        self.sim.call_at(stop, self._rack_restore, rack)
+
+    def _rack_restore(self, rack: str) -> None:
+        """The outage window expired: log the return and notify."""
+        self.schedule_log.append(
+            (round(self.sim.now, 6), "rack_up", rack))
+        for listener in list(self.rack_listeners):
+            listener("up", rack)
 
     # -- telemetry ------------------------------------------------------------
     def snapshot(self) -> FaultSnapshot:
