@@ -15,6 +15,7 @@ from .monitors import (
     DmoMonitor,
     InvariantViolation,
     PaxosMonitor,
+    PulseMonitor,
     RingMonitor,
     SchedulerMonitor,
     SteeringMonitor,
@@ -42,6 +43,7 @@ __all__ = [
     "InvariantViolation",
     "LintFinding",
     "PaxosMonitor",
+    "PulseMonitor",
     "RingMonitor",
     "RULES",
     "SanitizerSession",

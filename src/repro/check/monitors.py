@@ -32,6 +32,10 @@ The invariants:
   owns its key in the request's epoch, per-flow affinity is stable
   within an epoch, and no request is handed to two different backends
   in the same epoch (steering safety during live migration).
+* **PulseMonitor** — the PulsePlane's sampling pass schedules nothing
+  (zero virtual-time cost), samples land on the period lattice, and SLO
+  breach accounting is conservative: every counted breach is backed by
+  a recorded transition with burns over the alert threshold.
 """
 
 from __future__ import annotations
@@ -370,3 +374,76 @@ class SteeringMonitor:
                 yield (f"exactly-once: service {service!r} request "
                        f"{uid!r} epoch {epoch}: delivered to {backend!r} "
                        f"after {first!r}")
+
+
+class PulseMonitor:
+    """PulsePlane zero-cost + conservative-accounting invariants.
+
+    * **passivity** — the sampling pass (probes + SLO evaluation) never
+      schedules an event: the plane's ``passive_schedules`` counter (the
+      engine's sequence number diffed across each pass) stays zero.
+    * **lattice** — samples land exactly on the period lattice
+      ``k * period_us`` and sample times are strictly increasing (the
+      lazy sampler stamps boundaries, never wall arrival times).
+    * **conservative breaches** — every counted breach/recovery is
+      backed by a recorded transition whose burn rates clear (for a
+      breach) the evaluator's threshold, transitions alternate
+      breach/recover, and ``in_breach`` agrees with the last transition.
+    """
+
+    name = "pulse"
+
+    def __init__(self, pulse):
+        self.pulse = pulse
+        self.component = "pulseplane"
+        self._last_sample_us: Optional[float] = None
+        #: per-evaluator count of transitions already audited
+        self._audited: Dict[int, int] = {}
+
+    def check(self, now: float) -> Iterator[str]:
+        pulse = self.pulse
+        if pulse.passive_schedules:
+            yield (f"passivity: {pulse.passive_schedules} sampling "
+                   f"pass(es) scheduled events")
+        period = pulse.period_us
+        last = pulse.last_sample_us
+        if last is not None:
+            if abs(last / period - round(last / period)) > 1e-9:
+                yield (f"lattice: sample at t={last!r} is off the "
+                       f"{period:g}us period lattice")
+            if self._last_sample_us is not None \
+                    and last < self._last_sample_us:
+                yield (f"lattice: sample time went backwards "
+                       f"({self._last_sample_us!r} -> {last!r})")
+            self._last_sample_us = last
+        for evaluator in getattr(pulse, "_evaluators", ()):
+            yield from self._audit(evaluator)
+
+    def _audit(self, ev) -> Iterator[str]:
+        transitions = ev.transitions
+        breaches = sum(1 for _, kind, _, _ in transitions
+                       if kind == "breach")
+        recoveries = len(transitions) - breaches
+        if ev.breaches != breaches or ev.recoveries != recoveries:
+            yield (f"accounting: slo {ev.name!r} counts "
+                   f"{ev.breaches}/{ev.recoveries} breaches/recoveries "
+                   f"but history records {breaches}/{recoveries}")
+        start = self._audited.get(id(ev), 0)
+        for idx in range(start, len(transitions)):
+            t, kind, burn_fast, burn_slow = transitions[idx]
+            expected = "breach" if idx % 2 == 0 else "recover"
+            if kind != expected:
+                yield (f"accounting: slo {ev.name!r} transition {idx} "
+                       f"at t={t:g} is {kind!r}, expected {expected!r}")
+            if kind == "breach" and (burn_fast < ev.burn_threshold
+                                     or burn_slow < ev.burn_threshold):
+                yield (f"accounting: slo {ev.name!r} breach at t={t:g} "
+                       f"with burns {burn_fast:.3f}/{burn_slow:.3f} "
+                       f"below threshold {ev.burn_threshold:g}")
+        self._audited[id(ev)] = len(transitions)
+        if transitions:
+            last_kind = transitions[-1][1]
+            if ev.in_breach != (last_kind == "breach"):
+                yield (f"accounting: slo {ev.name!r} in_breach="
+                       f"{ev.in_breach} disagrees with last transition "
+                       f"{last_kind!r}")

@@ -37,6 +37,7 @@ from .monitors import (
     DmoMonitor,
     InvariantViolation,
     PaxosMonitor,
+    PulseMonitor,
     RingMonitor,
     SchedulerMonitor,
     SteeringMonitor,
@@ -67,6 +68,7 @@ class CheckPlane:
         self._tick = self.every
         self._paxos: Optional[PaxosMonitor] = None
         self._steering: Optional[SteeringMonitor] = None
+        self._pulse: Optional[PulseMonitor] = None
         sim.checker = self
 
     def uninstall(self) -> None:
@@ -134,6 +136,14 @@ class CheckPlane:
             self._steering = SteeringMonitor(controller)
             self.add_monitor(self._steering)
         return self._steering
+
+    def watch_pulse(self, pulse) -> PulseMonitor:
+        """Watch a PulsePlane for passivity/lattice/accounting violations
+        (one monitor per plane; repeat calls return it)."""
+        if self._pulse is None:
+            self._pulse = PulseMonitor(pulse)
+            self.add_monitor(self._pulse)
+        return self._pulse
 
     # -- checking ---------------------------------------------------------
     def check_now(self) -> None:

@@ -259,6 +259,64 @@ def _cmd_top(argv) -> int:
     return 0
 
 
+def _cmd_slo(argv) -> int:
+    """``repro slo``: run the SLO study and print the burn-rate report."""
+    from .experiments.slo_study import run_slo_chaos
+    from .obs import render_slo_report
+    parser = argparse.ArgumentParser(
+        prog="python -m repro slo",
+        description="Run the PulsePlane SLO study (aggressor vs victim) "
+                    "and print each SLO's burn-rate evaluation: state, "
+                    "breach/recovery transitions, and budget math "
+                    "(docs/OBSERVABILITY.md). Exit code 0: the whole "
+                    "breach -> load-driven migration -> recovery loop "
+                    "closed; 1 otherwise.")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--threshold", type=float, default=150.0,
+                        metavar="US", help="victim p99 SLO threshold")
+    parser.add_argument("--quick", action="store_true",
+                        help="shorter run (~1s)")
+    args = parser.parse_args(argv)
+    kwargs = {"seed": args.seed, "threshold_us": args.threshold}
+    if args.quick:
+        kwargs.update(duration_us=25_000.0, n_requests=55,
+                      aggressor_stop_us=20_000.0)
+    report = run_slo_chaos(**kwargs)
+    print(report.summary())
+    print(render_slo_report(report.pulse_plane.slo_report()))
+    return 0 if report.ok else 1
+
+
+def _cmd_pulse(argv) -> int:
+    """``repro pulse``: run a pulse-sampled study, export the series."""
+    from .experiments.slo_study import run_slo_chaos
+    parser = argparse.ArgumentParser(
+        prog="python -m repro pulse",
+        description="Run the pulse-sampled SLO study and export the "
+                    "continuous telemetry: --csv for a series,t_us,value "
+                    "table, --out for Perfetto-loadable counter tracks "
+                    "(open at https://ui.perfetto.dev).")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--csv", default=None, metavar="PATH",
+                        help="write the sampled series as CSV")
+    parser.add_argument("--out", default=None, metavar="PATH",
+                        help="write Chrome trace_event counter tracks")
+    args = parser.parse_args(argv)
+    if not args.csv and not args.out:
+        parser.error("nothing to export: pass --csv and/or --out")
+    report = run_slo_chaos(seed=args.seed)
+    print(report.summary())
+    pulse = report.pulse_plane
+    if args.csv:
+        rows = pulse.export_csv(args.csv)
+        print(f"{rows} samples -> {args.csv}")
+    if args.out:
+        events = pulse.export_chrome(args.out)
+        print(f"{events} counter events -> {args.out} "
+              f"(drag into https://ui.perfetto.dev)")
+    return 0 if report.ok else 1
+
+
 def _cmd_sweep(argv) -> int:
     """``repro sweep``: run one experiment grid through the executor."""
     from .exec import DEFAULT_CACHE_DIR, ParallelSweep, ResultCache, grids
@@ -364,7 +422,7 @@ def _scenario_names() -> tuple:
 #: chaos scenarios (full fault-injection + recovery paths), and every
 #: shipped scenario spec (as ``scenario-<name>``).
 CHECK_TARGETS = ("fig5", "fig16", "chaos-rkv", "chaos-dt", "chaos-rta",
-                 "steering-chaos"
+                 "steering-chaos", "slo-study"
                  ) + tuple(f"scenario-{name}" for name in _scenario_names())
 
 
@@ -397,6 +455,15 @@ def _check_run_fn(target: str, quick: bool, seed: int | None):
             kwargs.update(duration_us=20_000.0, n_requests=40,
                           send_gap_us=300.0, notice_us=3_000.0)
         return lambda: rebalance_point(**kwargs)
+    if target == "slo-study":
+        from .experiments.slo_study import slo_point
+        kwargs = {"seed": 42 if seed is None else seed}
+        if quick:
+            # shrunk but still closing the breach -> migrate -> recover
+            # loop, so the pulse/SLO fingerprint terms stay exercised
+            kwargs.update(duration_us=25_000.0, n_requests=55,
+                          aggressor_stop_us=20_000.0)
+        return lambda: slo_point(**kwargs)
     if target.startswith("scenario-"):
         import dataclasses
         from .scenario import load_shipped, run_scenario
@@ -607,6 +674,10 @@ def main(argv=None) -> int:
         return _cmd_lint(argv[1:])
     if argv and argv[0] == "scenario":
         return _cmd_scenario(argv[1:])
+    if argv and argv[0] == "slo":
+        return _cmd_slo(argv[1:])
+    if argv and argv[0] == "pulse":
+        return _cmd_pulse(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate tables/figures from the iPipe paper.")

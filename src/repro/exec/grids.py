@@ -38,22 +38,7 @@ def chaos_point(workload: str, **kwargs) -> Dict:
     field the sweep determinism tests compare byte-for-byte.
     """
     from ..experiments.chaos_study import RUNNERS
-    report = RUNNERS[workload](**kwargs)
-    return {
-        "workload": workload,
-        "seed": report.seed,
-        "requests": report.requests,
-        "answered": report.answered,
-        "lost": report.lost,
-        "client_retransmits": report.client_retransmits,
-        "duplicate_replies": report.duplicate_replies,
-        "duration_us": report.duration_us,
-        "faults_injected": dict(report.faults_injected),
-        "invariants": dict(report.invariants),
-        "ok": report.ok,
-        "stage_latencies": dict(report.stage_latencies),
-        "fingerprint": report.telemetry_fingerprint(),
-    }
+    return RUNNERS[workload](**kwargs).to_record()
 
 
 def fig18_point(**kwargs) -> List:

@@ -132,7 +132,15 @@ class ChaosClient:
             self.duplicate_replies += 1
             return
         self.replies[rid] = pkt
-        self.latencies.append(self.sim.now - state["first_sent"])
+        latency = self.sim.now - state["first_sent"]
+        self.latencies.append(latency)
+        # feed the PulsePlane's per-service SLO histograms: replies copy
+        # request metadata, so steered traffic carries its service name
+        service = pkt.meta.get("steer_service")
+        metrics = getattr(self.sim, "metrics", None)
+        if service is not None and metrics is not None:
+            metrics.observe(f"svc.{service}.latency_us", latency,
+                            now=self.sim.now)
 
     @property
     def answered(self) -> int:
@@ -165,10 +173,17 @@ class ChaosReport:
     #: SteerPlane telemetry (epochs, forwards, suppressions, moves);
     #: empty unless the scenario ran with fabric steering
     steering: Dict[str, object] = field(default_factory=dict)
+    #: PulsePlane telemetry (sample counts, series CRC, SLO transitions,
+    #: load-driven migrations); empty unless the scenario ran a pulse
+    pulse: Dict[str, object] = field(default_factory=dict)
     #: the TracePlane itself, for Chrome-trace export (not part of the
     #: replay fingerprint)
     trace_plane: Optional[TracePlane] = field(default=None, repr=False,
                                               compare=False)
+    #: the PulsePlane itself, for SLO reports and CSV/Perfetto export
+    #: (the fingerprint uses only the plain-data ``pulse`` digest)
+    pulse_plane: Optional[object] = field(default=None, repr=False,
+                                          compare=False)
 
     @property
     def ok(self) -> bool:
@@ -190,8 +205,39 @@ class ChaosReport:
         base = (tuple(self.fault_schedule), tuple(per_node),
                 self.answered, self.client_retransmits)
         if self.steering:
-            return base + (tuple(sorted(self.steering.items())),)
+            base = base + (tuple(sorted(self.steering.items())),)
+        if self.pulse:
+            base = base + (tuple(sorted(self.pulse.items())),)
         return base
+
+    def to_record(self) -> Dict[str, object]:
+        """The plain-data grid/CI record (picklable, fingerprint last).
+
+        The one assembly point shared by every study's point function
+        (``grids.chaos_point``, ``steering_study.rebalance_point``,
+        ``slo_study.slo_point``), so telemetry riders — steering, pulse —
+        fold into every record and every fingerprint in one place.
+        """
+        record: Dict[str, object] = {
+            "workload": self.workload,
+            "seed": self.seed,
+            "requests": self.requests,
+            "answered": self.answered,
+            "lost": self.lost,
+            "client_retransmits": self.client_retransmits,
+            "duplicate_replies": self.duplicate_replies,
+            "duration_us": self.duration_us,
+            "faults_injected": dict(self.faults_injected),
+            "invariants": dict(self.invariants),
+            "ok": self.ok,
+            "stage_latencies": dict(self.stage_latencies),
+        }
+        if self.steering:
+            record["steering"] = dict(self.steering)
+        if self.pulse:
+            record["pulse"] = dict(self.pulse)
+        record["fingerprint"] = self.telemetry_fingerprint()
+        return record
 
     def summary(self) -> str:
         mttrs = [s.mttr_mean_us for s in self.recovery.values()

@@ -185,23 +185,7 @@ def run_rebalance_chaos(seed: int = 42, duration_us: float = 40_000.0,
 
 def rebalance_point(**kwargs) -> Dict[str, object]:
     """Grid/CI entry point: one steering-chaos run as a plain record."""
-    report = run_rebalance_chaos(**kwargs)
-    return {
-        "workload": report.workload,
-        "seed": report.seed,
-        "requests": report.requests,
-        "answered": report.answered,
-        "lost": report.lost,
-        "client_retransmits": report.client_retransmits,
-        "duplicate_replies": report.duplicate_replies,
-        "duration_us": report.duration_us,
-        "faults_injected": dict(report.faults_injected),
-        "invariants": dict(report.invariants),
-        "steering": dict(report.steering),
-        "ok": report.ok,
-        "stage_latencies": report.stage_latencies,
-        "fingerprint": report.telemetry_fingerprint(),
-    }
+    return run_rebalance_chaos(**kwargs).to_record()
 
 
 def main(argv=None) -> int:

@@ -335,7 +335,7 @@ class SteeringController:
 
 @dataclass(frozen=True)
 class RebalancePolicy:
-    """Knobs for the rack-evacuation policy."""
+    """Knobs for the rack-evacuation and load-rebalancing policies."""
 
     #: Start evacuating this many µs before a scheduled rack outage.
     notice_us: float = 1_000.0
@@ -343,6 +343,19 @@ class RebalancePolicy:
     return_home: bool = True
     #: Forwarding-window length handed to each migration.
     window_us: float = DEFAULT_WINDOW_US
+    #: React to PulsePlane utilization samples (LoadFeed) — migrate the
+    #: hottest backend off an overloaded server on *sustained* skew.
+    on_load: bool = False
+    #: Absolute utilization a backend's server must reach to count hot.
+    util_high: float = 0.75
+    #: ...and exceed the fleet mean by at least this much (skew, not
+    #: uniform overload, justifies moving work around).
+    skew_min: float = 0.25
+    #: Hysteresis: consecutive hot samples required before migrating.
+    sustain_periods: int = 3
+    #: Cooldown between load-driven moves (µs) — one migration must get
+    #: the chance to take effect before the next is considered.
+    cooldown_us: float = 5_000.0
 
 
 @dataclass
@@ -360,6 +373,12 @@ class Rebalancer:
     Reads the FaultPlane's rack schedule at construction and arms an
     evacuation ``notice_us`` before each outage; subscribes to rack
     up/down events for repatriation (and as a late-notice fallback).
+    With ``policy.on_load`` set it additionally reacts to PulsePlane
+    utilization samples (:meth:`on_load_sample`, fed by
+    :class:`repro.obs.pulse.LoadFeed`): a backend whose server stays
+    both hot and skewed above the fleet mean for ``sustain_periods``
+    consecutive samples is live-migrated to the least-loaded spare,
+    subject to a ``cooldown_us`` gap between moves.
     """
 
     def __init__(self, sim: Simulator, controller: SteeringController,
@@ -367,7 +386,7 @@ class Rebalancer:
                  backends: Dict[str, MovableBackend],
                  runtimes: Dict[str, object],
                  rack_of: Callable[[str], Optional[str]],
-                 fault_plane) -> None:
+                 fault_plane=None) -> None:
         self.sim = sim
         self.controller = controller
         self.migrator = migrator
@@ -382,10 +401,15 @@ class Rebalancer:
         self.moves: List[Tuple[float, str, str, str, str]] = []
         self.interrupted = 0
         self._moving: set = set()
-        for rack, at_us, _duration in fault_plane.rack_schedule():
-            when = max(self.sim.now, at_us - policy.notice_us)
-            self.sim.call_at(when, self._evacuate, rack)
-        fault_plane.rack_listeners.append(self._on_rack_event)
+        #: load-trigger state: per-home consecutive hot-sample streaks.
+        self.load_moves = 0
+        self._hot_streak: Dict[str, int] = {}
+        self._last_load_move = -float("inf")
+        if fault_plane is not None:
+            for rack, at_us, _duration in fault_plane.rack_schedule():
+                when = max(self.sim.now, at_us - policy.notice_us)
+                self.sim.call_at(when, self._evacuate, rack)
+            fault_plane.rack_listeners.append(self._on_rack_event)
 
     # -- event plumbing ---------------------------------------------------
     def _on_rack_event(self, event: str, rack: str) -> None:
@@ -412,6 +436,73 @@ class Rebalancer:
                     or self.rack_of(home) != rack):
                 continue
             self._launch(home, current, home)
+
+    # -- load-driven migration (LoadFeed entry point) ---------------------
+    def on_load_sample(self, now: float, utils: Dict[str, float]
+                       ) -> Optional[Tuple[str, str]]:
+        """One pulse of per-server utilization; maybe launch a move.
+
+        ``utils`` maps server name -> mean NIC-core utilization over the
+        last sample period (every candidate server, not only current
+        backends).  Returns ``(home, dst)`` when a migration launched,
+        None otherwise.  Hysteresis (``sustain_periods`` consecutive hot
+        samples) filters transient spikes; ``cooldown_us`` spaces moves
+        so one migration's effect is measured before the next fires.
+        """
+        policy = self.policy
+        if not policy.on_load or len(utils) < 2:
+            return None
+        mean = sum(utils.values()) / len(utils)
+        for home in sorted(self.placement):
+            util = utils.get(self.placement[home])
+            if util is None or home in self._moving:
+                continue
+            if util >= policy.util_high and util - mean >= policy.skew_min:
+                self._hot_streak[home] = self._hot_streak.get(home, 0) + 1
+            else:
+                self._hot_streak[home] = 0
+        if now - self._last_load_move < policy.cooldown_us:
+            return None
+        sustained = [home for home in sorted(self.placement)
+                     if self._hot_streak.get(home, 0)
+                     >= max(policy.sustain_periods, 1)
+                     and home not in self._moving]
+        # hottest first; one move per sample keeps the loop observable
+        sustained.sort(
+            key=lambda h: (-utils.get(self.placement[h], 0.0), h))
+        for home in sustained:
+            src = self.placement[home]
+            dst = self._pick_load_destination(utils, exclude=src)
+            if dst is None:
+                continue
+            self._hot_streak[home] = 0
+            self._last_load_move = now
+            self.load_moves += 1
+            tracer = getattr(self.sim, "tracer", None)
+            if tracer is not None:
+                tracer.instant(f"rebalance:load:{home}", "steering",
+                               track="mgmt", src=src, dst=dst,
+                               util=utils.get(src))
+            self._launch(home, src, dst)
+            return (home, dst)
+        return None
+
+    def _pick_load_destination(self, utils: Dict[str, float],
+                               exclude: str) -> Optional[str]:
+        """Least-loaded running server hosting no backend already."""
+        hosting = set(self.placement.values())
+        best: Optional[str] = None
+        best_util = float("inf")
+        for name in sorted(self.runtimes):
+            if name == exclude or name in hosting:
+                continue
+            runtime = self.runtimes[name]
+            if not getattr(runtime, "_running", True):
+                continue
+            util = utils.get(name, 0.0)
+            if util < best_util:
+                best, best_util = name, util
+        return best
 
     def _pick_destination(self, exclude_rack: str) -> Optional[str]:
         hosting = set(self.placement.values())

@@ -1,7 +1,17 @@
-"""TracePlane: distributed tracing, windowed metrics, virtual-time profiling."""
+"""Observability: tracing, windowed metrics, profiling, and the
+PulsePlane's continuous telemetry + SLO burn-rate alerting."""
 
-from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .metrics import (
+    Counter,
+    EMPTY_QUANTILE,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    no_data,
+)
 from .plane import TracePlane
+from .pulse import LoadFeed, PulsePlane, Series, SeriesStore
+from .slo import SloEvaluator, parse_slo, render_slo_report
 from .profiler import (
     StageStats,
     fold,
@@ -15,10 +25,19 @@ from .trace import Span, SpanContext, Tracer
 
 __all__ = [
     "Counter",
+    "EMPTY_QUANTILE",
     "Gauge",
     "Histogram",
+    "LoadFeed",
     "MetricsRegistry",
+    "PulsePlane",
+    "Series",
+    "SeriesStore",
+    "SloEvaluator",
     "TracePlane",
+    "no_data",
+    "parse_slo",
+    "render_slo_report",
     "StageStats",
     "fold",
     "render_flame",

@@ -23,6 +23,18 @@ from typing import Deque, Dict, List, Optional, Tuple
 DEFAULT_WINDOW_US = 10_000.0
 DEFAULT_WINDOWS = 6
 
+#: Sentinel returned by quantile queries over an empty (or fully
+#: expired) window.  0.0 is a legal latency, so "no data" must be
+#: distinguishable from "very fast": NaN propagates through arithmetic,
+#: compares False against every threshold, and is detected with
+#: :func:`no_data`.
+EMPTY_QUANTILE = float("nan")
+
+
+def no_data(value: float) -> bool:
+    """True when a quantile query returned the empty-window sentinel."""
+    return isinstance(value, float) and math.isnan(value)
+
 
 def _bucket_index(value: float, sub: int) -> int:
     """Log-linear bucket index for a non-negative value."""
@@ -106,11 +118,16 @@ class Histogram:
 
     def percentile(self, pct: float, now: Optional[float] = None) -> float:
         """Quantile estimate; ``now`` restricts to the sliding window,
-        ``None`` queries the whole run."""
+        ``None`` queries the whole run.
+
+        A query over zero samples — a histogram nothing was recorded
+        into, or a window whose contents have all expired — returns
+        :data:`EMPTY_QUANTILE` (NaN), never a stale or fabricated 0.0.
+        """
         buckets = self._merged(now)
         total = sum(buckets.values())
         if total == 0:
-            return 0.0
+            return EMPTY_QUANTILE
         rank = max(int(math.ceil(pct / 100.0 * total)), 1)
         seen = 0
         for idx in sorted(buckets):
@@ -214,12 +231,23 @@ class MetricsRegistry:
             g = self._gauges[name] = Gauge(name)
         return g
 
-    def histogram(self, name: str) -> Histogram:
+    def histogram(self, name: str, window_us: Optional[float] = None,
+                  windows: Optional[int] = None) -> Histogram:
+        """The named histogram, created on first use.  The optional
+        window overrides apply only at creation — declare a non-default
+        window (e.g. an SLO's evaluation window) before traffic records
+        into the metric."""
         h = self._histograms.get(name)
         if h is None:
             h = self._histograms[name] = Histogram(
-                name, window_us=self.window_us, windows=self.windows)
+                name, window_us=window_us or self.window_us,
+                windows=windows or self.windows)
         return h
+
+    def get_histogram(self, name: str) -> Optional[Histogram]:
+        """The named histogram, or None — without creating it (readers
+        like the PulsePlane probes must not materialise metrics)."""
+        return self._histograms.get(name)
 
     # -- convenience recorders ----------------------------------------------
     def inc(self, name: str, amount: int = 1,
@@ -251,13 +279,16 @@ class MetricsRegistry:
             out[name] = {"type": "gauge", "value": g.value,
                          "updated_at": g.updated_at}
         for name, h in sorted(self._histograms.items()):
+            # empty/expired windows surface as None (JSON null), never as
+            # the in-band NaN sentinel or a fake 0.0
+            quantiles = {p: h.percentile(p, now) for p in (50, 90, 99)}
             out[name] = {
                 "type": "histogram",
                 "count": h.count,
                 "mean": h.mean,
-                "p50": h.percentile(50, now),
-                "p90": h.percentile(90, now),
-                "p99": h.percentile(99, now),
+                "p50": None if no_data(quantiles[50]) else quantiles[50],
+                "p90": None if no_data(quantiles[90]) else quantiles[90],
+                "p99": None if no_data(quantiles[99]) else quantiles[99],
                 "max": h.max_value,
             }
         return out

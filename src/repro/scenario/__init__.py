@@ -19,11 +19,13 @@ from .spec import (
     FleetSpec,
     NIC_CATALOG,
     ObsSpec,
+    PulseSpec,
     RackSpec,
     RebalanceSpec,
     ScenarioError,
     ScenarioSpec,
     ServerSpec,
+    SLOSpec,
     SteeringSpec,
     from_dict,
     from_file,
@@ -60,6 +62,7 @@ __all__ = [
     "FleetSpec",
     "NIC_CATALOG",
     "ObsSpec",
+    "PulseSpec",
     "RackSpec",
     "RebalanceSpec",
     "Scenario",
@@ -68,6 +71,7 @@ __all__ = [
     "ScenarioSpec",
     "Server",
     "ServerSpec",
+    "SLOSpec",
     "SteeringSpec",
     "build",
     "from_dict",

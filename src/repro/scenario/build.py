@@ -137,6 +137,8 @@ class Scenario:
     steering: Optional[object] = None
     #: Rebalancer driving cross-rack migration on rack outages
     rebalancer: Optional[object] = None
+    #: PulsePlane when the spec declares continuous telemetry
+    pulse_plane: Optional[object] = None
 
     def server(self, name: str) -> Server:
         return self.servers[name]
@@ -462,9 +464,11 @@ def build(spec: ScenarioSpec, sim: Optional[Simulator] = None) -> Scenario:
     if scenario.fault_plane is not None:
         scenario.fault_plane.wire_network(network)
 
-    if (spec.rebalance is not None and spec.steering
-            and scenario.fault_plane is not None):
+    if spec.rebalance is not None and spec.steering:
         _build_rebalancer(scenario)
+
+    if spec.observability.pulse is not None:
+        _build_pulse(scenario)
 
     return scenario
 
@@ -513,9 +517,15 @@ def _build_rebalancer(scenario: Scenario) -> None:
             actors=("consensus", "memtable", "sst_read", "compaction"),
             detach=node.detach, attach=node.attach)
     migrator = CrossRackMigrator(scenario.sim, steering=scenario.steering)
-    policy = RebalancePolicy(notice_us=spec.rebalance.notice_us,
-                             return_home=spec.rebalance.return_home,
-                             window_us=st.window_us)
+    rb = spec.rebalance
+    policy = RebalancePolicy(notice_us=rb.notice_us,
+                             return_home=rb.return_home,
+                             window_us=st.window_us,
+                             on_load=rb.on_load,
+                             util_high=rb.util_high,
+                             skew_min=rb.skew_min,
+                             sustain_periods=rb.sustain_periods,
+                             cooldown_us=rb.cooldown_us)
     scenario.rebalancer = Rebalancer(
         scenario.sim, controller=scenario.steering, migrator=migrator,
         policy=policy, service=st.service, backends=backends,
@@ -523,3 +533,42 @@ def _build_rebalancer(scenario: Scenario) -> None:
                   if hasattr(s.runtime, "_steer_seen")},
         rack_of=scenario.network.rack_of,
         fault_plane=scenario.fault_plane)
+
+
+def _build_pulse(scenario: Scenario) -> None:
+    """Install the PulsePlane: fleet probes, SLO evaluators, and — when
+    the rebalance policy asks for it — the LoadFeed that turns sustained
+    utilization skew into migrations.  Built last: probes read servers,
+    steering and the rebalancer, and PulsePlane construction schedules
+    nothing, so the event schedule is untouched."""
+    from ..obs.pulse import LoadFeed, PulsePlane
+    from ..obs.slo import SloEvaluator
+    spec = scenario.spec
+    ps = spec.observability.pulse
+    pulse = PulsePlane(scenario.sim, period_us=ps.period_us,
+                       retention=ps.retention)
+    scenario.pulse_plane = pulse
+    if ps.watch_servers:
+        for name in sorted(scenario.servers):
+            server = scenario.servers[name]
+            if server.nic is None:
+                continue
+            sched = getattr(server.runtime, "nic_scheduler", None)
+            pulse.watch_server(name, nic=server.nic, scheduler=sched,
+                               runtime=server.runtime)
+    if ps.watch_steering and scenario.steering is not None:
+        pulse.watch_steering(scenario.steering)
+    for slo in spec.observability.slos:
+        pulse.watch_service(slo.service, pct=slo.pct,
+                            window_us=slo.window_us)
+        pulse.add_evaluator(SloEvaluator(
+            scenario.sim, pulse.store, name=slo.slo_name(),
+            metric=slo.metric(), threshold_us=slo.threshold_us,
+            pct=slo.pct, window_us=slo.window_us,
+            slow_windows=slo.slow_windows, budget=slo.budget,
+            burn_threshold=slo.burn_threshold, period_us=ps.period_us))
+    if scenario.rebalancer is not None and scenario.rebalancer.policy.on_load:
+        LoadFeed(pulse, scenario.rebalancer)
+    checker = getattr(scenario.sim, "checker", None)
+    if checker is not None and hasattr(checker, "watch_pulse"):
+        checker.watch_pulse(pulse)

@@ -207,19 +207,76 @@ class SteeringSpec:
 
 @dataclass(frozen=True)
 class RebalanceSpec:
-    """Policy reacting to rack outages with live cross-rack migration."""
+    """Policy reacting to rack outages — and, with ``on_load``, to
+    sustained per-backend utilization skew measured by the PulsePlane."""
 
     service: str = ""                  # default: the first steering service
     notice_us: float = 1_000.0         # evacuate this long before an outage
     return_home: bool = True           # repatriate when the rack returns
+    on_load: bool = False              # migrate on sustained load skew
+    util_high: float = 0.75            # hot floor (mean NIC utilization)
+    skew_min: float = 0.25             # hot server must beat fleet mean by
+    sustain_periods: int = 3           # hysteresis: consecutive hot samples
+    cooldown_us: float = 5_000.0       # min gap between load-driven moves
+
+
+@dataclass(frozen=True)
+class PulseSpec:
+    """PulsePlane sampling: cadence, retention, default gauge sets."""
+
+    period_us: float = 500.0           # sample lattice spacing
+    retention: int = 4096              # ring-buffer points per series
+    watch_servers: bool = True         # nic.util.* + nic.queue.* gauges
+    watch_steering: bool = True        # steer.rate (when steering declared)
+
+
+@dataclass(frozen=True)
+class SLOSpec:
+    """One latency SLO: ``<service> p<pct> < <threshold_us> over
+    <window_us>``, evaluated per pulse with multi-window burn rates.
+
+    ``service`` names the steered service (or app kind) whose
+    ``svc.<service>.latency_us`` histogram the clients record.  In
+    JSON/TOML an entry may also be the compact grammar string —
+    ``"rkv p99 < 40us over 2ms"`` — parsed by
+    :func:`repro.obs.slo.parse_slo`.
+    """
+
+    service: str
+    threshold_us: float = 0.0          # objective bound (must be > 0)
+    pct: float = 99.0                  # watched quantile
+    window_us: float = 2_000.0         # fast evaluation window
+    slow_windows: int = 4              # slow window, in fast windows
+    budget: float = 0.1                # allowed over-threshold fraction
+    burn_threshold: float = 1.0        # breach when both burns reach this
+    name: str = ""                     # default: "<service>-p<pct>"
+
+    def slo_name(self) -> str:
+        return self.name or f"{self.service}-p{self.pct:g}"
+
+    def metric(self) -> str:
+        return f"svc.{self.service}.latency_us"
+
+    @classmethod
+    def from_text(cls, text: str) -> "SLOSpec":
+        from ..obs.slo import parse_slo
+        try:
+            parsed = parse_slo(text)
+        except ValueError as exc:
+            raise ScenarioError([str(exc)]) from None
+        return cls(service=parsed["service"], pct=parsed["pct"],
+                   threshold_us=parsed["threshold_us"],
+                   window_us=parsed["window_us"], name=parsed["name"])
 
 
 @dataclass(frozen=True)
 class ObsSpec:
-    """Observability riders: TracePlane, recovery policy."""
+    """Observability riders: TracePlane, recovery policy, PulsePlane."""
 
     trace: bool = False
     recovery_restart_delay_us: Optional[float] = None
+    pulse: Optional[PulseSpec] = None
+    slos: Tuple[SLOSpec, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -380,6 +437,78 @@ class ScenarioSpec:
                                 "follow a migrated node)")
             if self.rebalance.notice_us < 0:
                 problems.append("rebalance: notice_us must be >= 0")
+            rb = self.rebalance
+            if rb.on_load:
+                if self.observability.pulse is None:
+                    problems.append(
+                        "rebalance: on_load needs observability.pulse "
+                        "(the LoadFeed samples utilization per pulse)")
+                if not 0.0 < rb.util_high <= 1.0:
+                    problems.append(
+                        f"rebalance: util_high must be in (0, 1] "
+                        f"(got {rb.util_high})")
+                if not 0.0 <= rb.skew_min <= 1.0:
+                    problems.append(
+                        f"rebalance: skew_min must be in [0, 1] "
+                        f"(got {rb.skew_min})")
+                if rb.sustain_periods < 1:
+                    problems.append(
+                        f"rebalance: sustain_periods must be >= 1 "
+                        f"(got {rb.sustain_periods})")
+                if rb.cooldown_us < 0:
+                    problems.append(
+                        f"rebalance: cooldown_us must be >= 0 "
+                        f"(got {rb.cooldown_us})")
+        pulse = self.observability.pulse
+        if pulse is not None:
+            if pulse.period_us <= 0:
+                problems.append(
+                    f"pulse: period_us must be positive "
+                    f"(got {pulse.period_us})")
+            if pulse.retention < 1:
+                problems.append(
+                    f"pulse: retention must be >= 1 (got {pulse.retention})")
+        slo_names = [s.slo_name() for s in self.observability.slos]
+        if len(set(slo_names)) != len(slo_names):
+            problems.append(f"duplicate SLO names: {slo_names}")
+        if self.observability.slos and pulse is None:
+            problems.append(
+                "observability: SLOs declared without pulse sampling "
+                "(set observability.pulse)")
+        for slo in self.observability.slos:
+            label = f"slo {slo.slo_name()}"
+            if (slo.service not in steering_names
+                    and slo.service not in app_kinds):
+                problems.append(
+                    f"{label}: service {slo.service!r} names no declared "
+                    f"steering service or app")
+            if slo.threshold_us <= 0:
+                problems.append(
+                    f"{label}: threshold_us must be positive "
+                    f"(got {slo.threshold_us})")
+            if slo.window_us <= 0:
+                problems.append(
+                    f"{label}: window_us must be positive "
+                    f"(got {slo.window_us})")
+            elif pulse is not None and pulse.period_us > 0 \
+                    and slo.window_us < pulse.period_us:
+                problems.append(
+                    f"{label}: window_us {slo.window_us} is shorter than "
+                    f"the pulse period {pulse.period_us} (no sample fits)")
+            if not 0.0 < slo.pct <= 100.0:
+                problems.append(
+                    f"{label}: pct must be in (0, 100] (got {slo.pct})")
+            if not 0.0 < slo.budget <= 1.0:
+                problems.append(
+                    f"{label}: budget must be in (0, 1] (got {slo.budget})")
+            if slo.slow_windows < 1:
+                problems.append(
+                    f"{label}: slow_windows must be >= 1 "
+                    f"(got {slo.slow_windows})")
+            if slo.burn_threshold <= 0:
+                problems.append(
+                    f"{label}: burn_threshold must be positive "
+                    f"(got {slo.burn_threshold})")
         rack_name_set = set(rack_names)
         for decl in self.faults:
             if decl.kind not in ALL_KINDS:
@@ -466,7 +595,18 @@ def from_dict(data: Dict[str, Any]) -> ScenarioSpec:
     rebalance_data = data.get("rebalance")
     rebalance = (build(RebalanceSpec, rebalance_data)
                  if rebalance_data is not None else None)
-    obs = build(ObsSpec, data.get("observability", {}))
+    obs_data = dict(data.get("observability", {}))
+    pulse_data = obs_data.pop("pulse", None)
+    if pulse_data is None:
+        pulse = None
+    elif pulse_data is True:
+        pulse = PulseSpec()        # "pulse": true — defaults
+    else:
+        pulse = build(PulseSpec, pulse_data)
+    slos = tuple(
+        SLOSpec.from_text(s) if isinstance(s, str) else build(SLOSpec, s)
+        for s in obs_data.pop("slos", ()))
+    obs = build(ObsSpec, {**obs_data, "pulse": pulse, "slos": slos})
     fabric = build(FabricSpec, data.get("fabric", {}))
     top = {k: v for k, v in data.items()
            if k not in ("racks", "apps", "fleets", "faults", "steering",

@@ -97,6 +97,13 @@ class Simulator:
         #: the invariant monitors both hang off this.  While None (the
         #: default) the run loop pays one attribute read per event.
         self.checker = None
+        #: periodic-sampling hook, set by repro.obs.pulse.PulsePlane.
+        #: The run loop calls ``pulse.after_step(now)`` after each fired
+        #: callback; the plane samples lazily when virtual time crosses a
+        #: period boundary.  Sampling is passive — it schedules nothing —
+        #: so instrumented and uninstrumented runs fire the exact same
+        #: event sequence (the sanitizer digests prove it).
+        self.pulse = None
 
     @property
     def now(self) -> float:
@@ -181,6 +188,9 @@ class Simulator:
             while heap:
                 if bounded and heap[0][0] > until:
                     self._now = until
+                    pl = self.pulse
+                    if pl is not None:
+                        pl.after_step(until)
                     return self._now
                 item = pop(heap)
                 if len(item) == 4:          # raw post(): (when, seq, fn, args)
@@ -190,6 +200,9 @@ class Simulator:
                     chk = self.checker
                     if chk is not None:
                         chk.after_step(item[0], item[1], item[2])
+                    pl = self.pulse
+                    if pl is not None:
+                        pl.after_step(self._now)
                     continue
                 handle = item[2]
                 if handle.cancelled:
@@ -208,6 +221,9 @@ class Simulator:
                 chk = self.checker
                 if chk is not None:
                     chk.after_step(self._now, seq, handle._fn)
+                pl = self.pulse
+                if pl is not None:
+                    pl.after_step(self._now)
                 # Recycle only when the loop holds the sole reference
                 # (local var + getrefcount argument == 2): a handle the
                 # caller kept must never be reused for a new event.
@@ -217,6 +233,9 @@ class Simulator:
                     pool.append(handle)
             if bounded and until > self._now:
                 self._now = until
+                pl = self.pulse
+                if pl is not None:
+                    pl.after_step(until)
         finally:
             self._running = False
         return self._now
@@ -232,6 +251,9 @@ class Simulator:
                 chk = self.checker
                 if chk is not None:
                     chk.after_step(item[0], item[1], item[2])
+                pl = self.pulse
+                if pl is not None:
+                    pl.after_step(self._now)
                 return True
             handle = item[2]
             if handle.cancelled:
@@ -243,6 +265,9 @@ class Simulator:
             chk = self.checker
             if chk is not None:
                 chk.after_step(item[0], item[1], handle._fn)
+            pl = self.pulse
+            if pl is not None:
+                pl.after_step(self._now)
             return True
         return False
 

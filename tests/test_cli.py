@@ -100,6 +100,22 @@ def test_check_targets_cover_scheduler_dataplane_chaos_and_scenarios():
     assert names  # the package ships specs
     for name in names:
         assert f"scenario-{name}" in CHECK_TARGETS
+    assert "slo-study" in CHECK_TARGETS
+    assert "steering-chaos" in CHECK_TARGETS
+
+
+def test_pulse_without_export_paths_is_a_usage_error(capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(["pulse"])
+    assert exc.value.code == 2
+    assert "nothing to export" in capsys.readouterr().err
+
+
+def test_slo_quick_prints_the_burn_rate_report(capsys):
+    assert main(["slo", "--quick"]) == 0
+    out = capsys.readouterr().out
+    assert "[slo:rkv-p99]" in out
+    assert "breach @" in out and "recover @" in out
 
 
 # -- repro bench --check --------------------------------------------------------

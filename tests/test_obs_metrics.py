@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.obs import Histogram, MetricsRegistry
+from repro.obs import EMPTY_QUANTILE, Histogram, MetricsRegistry, no_data
 from repro.obs.metrics import _bucket_index, _bucket_value
 from repro.sim import Rng, percentile as exact_percentile
 
@@ -102,6 +102,26 @@ def test_rotation_jumps_large_gaps_in_one_step():
     assert hist.window_count(1e12) == 1
 
 
+# -- empty-window sentinel ----------------------------------------------------
+def test_empty_histogram_quantile_is_the_sentinel_not_zero():
+    hist = Histogram("empty")
+    value = hist.percentile(99)
+    assert no_data(value)
+    assert no_data(EMPTY_QUANTILE)
+    assert not no_data(0.0)
+
+
+def test_expired_window_quantile_is_the_sentinel():
+    hist = Histogram(window_us=1_000.0, windows=2)
+    hist.record(100.0, 42.0)
+    assert hist.percentile(99, 500.0) == pytest.approx(42.0, rel=0.05)
+    # everything recorded has aged past the 2-window horizon: the query
+    # must say "no data", never a stale or fabricated quantile
+    assert no_data(hist.percentile(99, 10_000.0))
+    # the whole-run query still sees the sample
+    assert hist.percentile(99) == pytest.approx(42.0, rel=0.05)
+
+
 # -- registry -----------------------------------------------------------------
 def test_registry_snapshot_types():
     sim = _Sim()
@@ -132,6 +152,25 @@ def test_registry_create_on_use_is_stable():
     assert reg.histogram("h") is reg.histogram("h")
     assert reg.counter("c") is reg.counter("c")
     assert reg.gauge("g") is reg.gauge("g")
+
+
+def test_registry_histogram_window_overrides_apply_at_creation_only():
+    reg = MetricsRegistry(_Sim(), window_us=10_000.0)
+    hist = reg.histogram("svc", window_us=2_000.0, windows=2)
+    assert hist.window_us == 2_000.0 and hist.max_windows == 2
+    # later callers (recorders, probes) get the same histogram back;
+    # their defaults must not resize an already-declared window
+    assert reg.histogram("svc") is hist
+    assert reg.histogram("svc", window_us=500.0).window_us == 2_000.0
+    assert reg.histogram("other").window_us == 10_000.0
+
+
+def test_registry_get_histogram_never_materialises():
+    reg = MetricsRegistry(_Sim())
+    assert reg.get_histogram("ghost") is None
+    assert "ghost" not in reg.names()
+    reg.observe("real", 1.0, now=0.0)
+    assert reg.get_histogram("real") is not None
 
 
 def test_runtime_snapshot_carries_metrics():
