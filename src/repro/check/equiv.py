@@ -1,0 +1,68 @@
+"""Decomposition equivalence: compare event streams across executors.
+
+The sanitizer's rolling digest (:mod:`repro.check.sanitizer`) proves two
+*replays of the same executor* are bit-identical — it hashes sequence
+numbers and RNG positions, which legitimately differ between a serial
+run and a rack-sharded run of the same spec.  This module defines the
+*canonical* stream on which serial and sharded execution must agree:
+the multiset of ``(virtual time, callback id)`` pairs over every fired
+event, merged across all simulators in a session.
+
+Two normalizations make the comparison meaningful:
+
+* callbacks owned by the shard coordinator itself are aliased to their
+  serial counterparts (the boundary uplink's ``transmit`` stands in for
+  ``Link.transmit``) or dropped (coordinator bookkeeping has no serial
+  counterpart);
+* the stream is sorted by ``(when, callback id)`` — shard-local
+  sequence numbers are meaningless across simulators, and the serial
+  tie-break order among same-time events is an implementation detail
+  the decomposition does not (and need not) preserve.
+
+Equal digests therefore mean: every event fired at the same virtual
+time, running the same code, in both decompositions.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+from zlib import crc32
+
+from .sanitizer import SanitizerSession, StepRecord
+
+#: shard-coordinator callbacks that replicate a serial-run callback
+CALLBACK_ALIASES = {
+    "repro.exec.shard:_BoundaryLink.transmit": "repro.net.link:Link.transmit",
+}
+
+#: modules whose (unaliased) callbacks are coordinator bookkeeping with
+#: no serial counterpart
+COORDINATOR_MODULES = ("repro.exec.shard",)
+
+
+def canonical_events(records: Iterable[StepRecord]
+                     ) -> List[Tuple[float, str]]:
+    """The sorted ``(when, callback id)`` stream of a recorded run."""
+    events: List[Tuple[float, str]] = []
+    for record in records:
+        callback = CALLBACK_ALIASES.get(record.callback, record.callback)
+        if callback.split(":", 1)[0] in COORDINATOR_MODULES:
+            continue
+        events.append((record.when, callback))
+    events.sort()
+    return events
+
+
+def canonical_digest(records: Iterable[StepRecord]) -> int:
+    """CRC-32 over the canonical event stream."""
+    digest = 0
+    for when, callback in canonical_events(records):
+        digest = crc32(f"{when!r}|{callback}".encode(),
+                       digest) & 0xFFFFFFFF
+    return digest
+
+
+def session_digest(session: SanitizerSession) -> int:
+    """Canonical digest of everything a sanitizer session recorded
+    (requires ``keep_records=True``, the default)."""
+    return canonical_digest(session.recorder.records)

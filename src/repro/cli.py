@@ -16,6 +16,7 @@ Usage::
     python -m repro scenario list
     python -m repro scenario validate
     python -m repro scenario run multi-rack-rkv --duration-us 5000
+    python -m repro run multi-rack-rkv --shards by-rack --compare-serial
 
 ``--jobs N`` fans a figure's grid out to N worker processes through the
 sweep executor (results are bit-identical to a serial run); ``sweep``
@@ -25,7 +26,10 @@ dirty points; ``bench`` emits the perf baseline ``BENCH_sweep.json``;
 ``lint`` runs the static nondeterminism-hazard pass (docs/CHECKING.md);
 ``scenario`` lists, validates, and runs declarative deployment specs
 (docs/SCENARIOS.md) — shipped specs are also ``check`` targets as
-``scenario-<name>``.
+``scenario-<name>``; ``run`` is shorthand for ``scenario run`` and takes
+``--shards by-rack`` to execute a multi-rack spec on the parallel-in-time
+rack-shard executor (``--compare-serial`` proves the fingerprint matches
+the single-simulator run; see docs/PERFORMANCE.md).
 
 ``--quick`` shrinks simulation durations ~4x for a fast look; the
 benchmark suite (``pytest benchmarks/ --benchmark-only``) remains the
@@ -389,10 +393,22 @@ def _cmd_bench(argv) -> int:
           f"{kern['speedup_cancel_vs_seed']:.2f}x, peak heap "
           f"{kern['cancel_heavy_peak_heap']:.0f} vs seed "
           f"{kern['cancel_heavy_seed_peak_heap']:.0f}")
-    print(f"  sweep ({sw['points']} pts): pool x{sw['pool']} "
-          f"{sw['pool_speedup']:.2f}x, warm cache {sw['cached_speedup']:.2f}x "
+    speedup = sw.get("pool_speedup")
+    pool_txt = (f"pool x{sw['pool']} {speedup:.2f}x" if speedup is not None
+                else f"pool x{sw['pool']} skipped "
+                     f"({sw.get('pool_note', 'single-core host')})")
+    print(f"  sweep ({sw['points']} pts): {pool_txt}, "
+          f"warm cache {sw['cached_speedup']:.2f}x "
           f"(hit rate {sw['cache_hit_rate']:.0%}), "
           f"identical={sw['identical']}")
+    shard = bench.get("shard")
+    if shard:
+        print(f"  shard ({shard['spec']}): {shard['racks']} racks, "
+              f"serial {shard['serial_s']:.2f}s vs sharded "
+              f"{shard['shard_s']:.2f}s ({shard['shard_speedup']:.2f}x on "
+              f"{shard['effective_jobs']} effective core(s)), "
+              f"rounds={shard['rounds']}, "
+              f"fingerprint match={shard['match']}")
     if args.check:
         with open(args.check) as fh:
             baseline = json.load(fh)
@@ -542,6 +558,17 @@ def _cmd_scenario(argv) -> int:
                        help="shipped name or .json/.toml path")
     p_run.add_argument("--duration-us", type=float, default=None,
                        help="override the spec's horizon")
+    p_run.add_argument("--shards", choices=("none", "by-rack"), default=None,
+                       help="execution mode override: by-rack runs one "
+                            "simulator per rack in conservative lookahead "
+                            "windows (default: the spec's own setting)")
+    p_run.add_argument("--processes", type=int, default=None, metavar="N",
+                       help="with by-rack shards: fork one worker process "
+                            "per rack when N > 0 (default: the spec's own)")
+    p_run.add_argument("--compare-serial", action="store_true",
+                       help="also run the serial single-simulator "
+                            "execution and verify the fingerprints match "
+                            "(exit 1 on divergence)")
     args = parser.parse_args(argv)
 
     if args.cmd == "list":
@@ -575,12 +602,22 @@ def _cmd_scenario(argv) -> int:
                 print(f"ok   {ref} ({spec.name})")
         return 1 if failures else 0
 
+    import dataclasses
     from .scenario import run_scenario
     spec = _resolve_spec(args.spec)
+    if args.shards is not None or args.processes is not None:
+        ex = spec.execution
+        spec = dataclasses.replace(spec, execution=dataclasses.replace(
+            ex,
+            shards=args.shards if args.shards is not None else ex.shards,
+            processes=(args.processes if args.processes is not None
+                       else ex.processes)))
     spec.validate()
     result = run_scenario(spec, duration_us=args.duration_us)
     print(f"scenario {result.name} (seed {result.seed}, "
-          f"{result.duration_us:.0f}µs)")
+          f"{result.duration_us:.0f}µs"
+          + (f", shards={spec.execution.shards}"
+             if spec.execution.shards != "none" else "") + ")")
     print(f"  sent {result.sent}, completed {result.completed} "
           f"({result.throughput_mops:.3f} Mops)")
     if result.completed:
@@ -594,6 +631,17 @@ def _cmd_scenario(argv) -> int:
         print(f"  faults {result.faults_injected}, "
               f"recoveries {result.recoveries}")
     print(f"  fingerprint {result.fingerprint()}")
+    if args.compare_serial:
+        serial_spec = dataclasses.replace(spec, execution=dataclasses.replace(
+            spec.execution, shards="none",
+            fault_streams=spec.execution.resolved_fault_streams()))
+        serial = run_scenario(serial_spec, duration_us=args.duration_us)
+        if serial.fingerprint() == result.fingerprint():
+            print("  serial equivalence: MATCH")
+        else:
+            print("  serial equivalence: MISMATCH")
+            print(f"  serial fingerprint {serial.fingerprint()}")
+            return 1
     return 0
 
 
@@ -674,6 +722,9 @@ def main(argv=None) -> int:
         return _cmd_lint(argv[1:])
     if argv and argv[0] == "scenario":
         return _cmd_scenario(argv[1:])
+    if argv and argv[0] == "run":
+        # shorthand: ``repro run SPEC ...`` == ``repro scenario run ...``
+        return _cmd_scenario(["run"] + argv[1:])
     if argv and argv[0] == "slo":
         return _cmd_slo(argv[1:])
     if argv and argv[0] == "pulse":

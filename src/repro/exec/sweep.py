@@ -68,6 +68,18 @@ def _execute(payload: Tuple[Callable, Dict[str, Any]]) -> Any:
     return fn(**kwargs)
 
 
+def _worker_init() -> None:
+    """Pool-worker initializer: pay the heavy experiment imports once per
+    worker instead of once per point.  Under the ``spawn`` start method a
+    fresh interpreter imports ``repro`` lazily on the first unpickled
+    point — front-loading it here moves that cost out of the measured
+    per-point path (under ``fork`` the modules are inherited and these
+    imports are no-ops)."""
+    from ..experiments import scheduler_study  # noqa: F401
+    from ..experiments import characterization  # noqa: F401
+    from .. import scenario  # noqa: F401
+
+
 @dataclass
 class SweepReport:
     """Outcome of one executor run."""
@@ -106,6 +118,13 @@ class ParallelSweep:
     ``jobs=1`` executes inline (no pool, no pickling) — the serial
     reference path the determinism tests compare against.  ``jobs=0``
     means one worker per CPU.
+
+    The pool is created lazily on the first parallel :meth:`run` and
+    **reused across runs** — worker startup (process creation plus the
+    initializer's imports) is paid once per executor, not once per grid
+    cell.  Call :meth:`close` (or use the executor as a context manager)
+    to release the workers; an executor that is garbage-collected
+    terminates its pool.
     """
 
     def __init__(self, jobs: int = 1, cache: Optional[ResultCache] = None,
@@ -117,6 +136,33 @@ class ParallelSweep:
         if mp_start not in multiprocessing.get_all_start_methods():
             mp_start = "spawn"
         self.mp_start = mp_start
+        self._pool = None
+
+    def _get_pool(self):
+        if self._pool is None:
+            ctx = multiprocessing.get_context(self.mp_start)
+            self._pool = ctx.Pool(processes=self.jobs,
+                                  initializer=_worker_init)
+        return self._pool
+
+    def close(self) -> None:
+        """Release the worker pool (idempotent)."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "ParallelSweep":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    def __del__(self):  # pragma: no cover - GC timing dependent
+        pool = getattr(self, "_pool", None)
+        if pool is not None:
+            pool.terminate()
 
     def run(self, points: Iterable[SweepPoint]) -> SweepReport:
         t0 = time.perf_counter()
@@ -150,11 +196,8 @@ class ParallelSweep:
                 for point in todo:
                     computed[point.key] = point.fn(**point.kwargs)
             else:
-                ctx = multiprocessing.get_context(self.mp_start)
                 payloads = [(p.fn, p.kwargs) for p in todo]
-                workers = min(self.jobs, len(todo))
-                with ctx.Pool(processes=workers) as pool:
-                    values = pool.map(_execute, payloads, chunksize=1)
+                values = self._get_pool().map(_execute, payloads, chunksize=1)
                 for point, value in zip(todo, values):
                     computed[point.key] = value
             if cache is not None:

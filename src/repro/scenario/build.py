@@ -98,11 +98,13 @@ class ClientPort:
 
     def open_loop(self, dst: str, rate_mpps: float, size: int,
                   payload_factory=None, rng: Optional[Rng] = None,
-                  poisson: bool = True) -> OpenLoopGenerator:
+                  poisson: bool = True,
+                  lattice_us: float = 0.0) -> OpenLoopGenerator:
         return OpenLoopGenerator(
             self.sim, send=self.network.send,
             src=self.name, dst=dst, rate_mpps=rate_mpps, size=size,
-            payload_factory=payload_factory, rng=rng, poisson=poisson)
+            payload_factory=payload_factory, rng=rng, poisson=poisson,
+            lattice_us=lattice_us)
 
 
 class BuiltApp:
@@ -253,6 +255,11 @@ def _install_payload_router(scenario: Scenario, name: str) -> None:
 
 
 def _build_app(scenario: Scenario, app: AppSpec) -> BuiltApp:
+    """Place one app.  Replica groups (and leaders) are always computed
+    from the *spec's* full server list, but nodes are only instantiated
+    for servers present in ``scenario.servers`` — a rack-sharded build
+    passes a partial server set and peers address remote group members
+    by name over the fabric, exactly as the serial build does."""
     built = BuiltApp(app, app.replica_groups(scenario.spec.server_names()))
     if app.kind == "none":
         return built
@@ -266,6 +273,8 @@ def _build_app(scenario: Scenario, app: AppSpec) -> BuiltApp:
             leader = (app.leader if app.leader in group else group[0])
             built.leaders.append(leader)
             for name in group:
+                if name not in runtimes:
+                    continue
                 kwargs = {}
                 if memtable_limit is not None:
                     kwargs["memtable_limit"] = memtable_limit
@@ -283,11 +292,13 @@ def _build_app(scenario: Scenario, app: AppSpec) -> BuiltApp:
             kwargs = {}
             if app.option("log_segment_bytes") is not None:
                 kwargs["log_segment_bytes"] = app.option("log_segment_bytes")
-            built.nodes[coordinator] = DtCoordinatorNode(
-                runtimes[coordinator], participant_nodes=list(participants),
-                **kwargs)
+            if coordinator in runtimes:
+                built.nodes[coordinator] = DtCoordinatorNode(
+                    runtimes[coordinator],
+                    participant_nodes=list(participants), **kwargs)
             for name in participants:
-                built.nodes[name] = DtParticipantNode(runtimes[name])
+                if name in runtimes:
+                    built.nodes[name] = DtParticipantNode(runtimes[name])
     elif app.kind == "rta":
         from ..apps.rta import RtaWorkerNode
         for group in built.groups:
@@ -296,6 +307,8 @@ def _build_app(scenario: Scenario, app: AppSpec) -> BuiltApp:
                 aggregate = group[0]
             built.leaders.append(group[0])
             for name in group:
+                if name not in runtimes:
+                    continue
                 built.nodes[name] = RtaWorkerNode(
                     runtimes[name], aggregate_node=aggregate)
     elif app.kind == "firewall":
@@ -305,6 +318,8 @@ def _build_app(scenario: Scenario, app: AppSpec) -> BuiltApp:
         for group in built.groups:
             built.leaders.append(group[0])
             for name in group:
+                if name not in runtimes:
+                    continue
                 built.nodes[name] = FirewallNode(runtimes[name], rules=rules)
                 runtimes[name].dispatch_table["data"] = "firewall"
     elif app.kind == "ipsec":
@@ -312,6 +327,8 @@ def _build_app(scenario: Scenario, app: AppSpec) -> BuiltApp:
         for group in built.groups:
             built.leaders.append(group[0])
             for name in group:
+                if name not in runtimes:
+                    continue
                 built.nodes[name] = IpsecNode(runtimes[name])
                 # a gateway's whole ingress is ESP traffic
                 runtime = runtimes[name]
@@ -376,7 +393,8 @@ def _build_fleet(scenario: Scenario, fleet: FleetSpec) -> None:
             gen = port.open_loop(
                 dst=dst, rate_mpps=fleet.rate_mpps / len(targets),
                 size=fleet.size, payload_factory=factory,
-                rng=Rng(seed), poisson=fleet.poisson)
+                rng=Rng(seed), poisson=fleet.poisson,
+                lattice_us=fleet.lattice_us)
         scenario.generators.append(gen)
 
 
@@ -401,7 +419,9 @@ def build(spec: ScenarioSpec, sim: Optional[Simulator] = None) -> Scenario:
         scenario.trace_plane = TracePlane(sim)
 
     if spec.faults:
-        plane = FaultPlane(sim, seed=spec.seed)
+        streams = spec.execution.resolved_fault_streams()
+        plane = FaultPlane(sim, seed=spec.seed,
+                           component_streams=streams == "per-component")
         for decl in spec.faults:
             plane.add(FaultSpec(
                 kind=decl.kind, target=decl.target, node=decl.node,
@@ -442,6 +462,8 @@ def build(spec: ScenarioSpec, sim: Optional[Simulator] = None) -> Scenario:
             if app.kind in ("rkv", "dt", "rta"):
                 for group in app.groups:
                     for name in group:
+                        if name not in scenario.servers:
+                            continue
                         _install_payload_router(scenario, name)
                         covered.add(name)
         if spec.steering:

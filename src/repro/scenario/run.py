@@ -92,7 +92,16 @@ def _collect(scenario: Scenario, duration_us: float) -> ScenarioResult:
 
 def run_scenario(spec: ScenarioSpec,
                  duration_us: Optional[float] = None) -> ScenarioResult:
-    """Build the spec's scenario, run it to the horizon, report counters."""
+    """Build the spec's scenario, run it to the horizon, report counters.
+
+    A spec with ``execution.shards == "by-rack"`` is dispatched to the
+    parallel-in-time :class:`~repro.exec.shard.RackShardExecutor`; the
+    result (and its fingerprint) is identical either way — that
+    equivalence is the executor's contract.
+    """
+    if spec.execution.shards == "by-rack":
+        from ..exec.shard import RackShardExecutor
+        return RackShardExecutor(spec, duration_us=duration_us).run()
     scenario = build(spec)
     horizon = duration_us if duration_us is not None else spec.duration_us
     scenario.run(until=horizon)

@@ -29,7 +29,7 @@ from ..nic import (
     NicSpec,
     STINGRAY_PS225,
 )
-from ..sim.faults import ALL_KINDS
+from ..sim.faults import ALL_KINDS, EVENT_KINDS
 
 SPEC_VERSION = 1
 
@@ -169,6 +169,11 @@ class FleetSpec:
     think_time_us: float = 0.0
     poisson: bool = True
     connections: int = 0
+    #: open-loop arrival batching: draw and schedule all arrivals of a
+    #: ``lattice_us``-wide window at once (absolute-time accumulation,
+    #: same Rng draw order, bit-identical emission timestamps) instead
+    #: of one re-arm event per packet.  0 disables batching.
+    lattice_us: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -279,6 +284,45 @@ class ObsSpec:
     slos: Tuple[SLOSpec, ...] = ()
 
 
+EXEC_SHARDS = ("none", "by-rack")
+FAULT_STREAM_MODES = ("auto", "shared", "per-component")
+
+
+@dataclass(frozen=True)
+class ExecSpec:
+    """How to execute the built scenario.
+
+    ``shards="by-rack"`` hands the spec to
+    :class:`repro.exec.shard.RackShardExecutor`: each rack runs as its
+    own :class:`~repro.sim.engine.Simulator`, exchanging timestamped
+    cross-rack packets at the spine boundary under a conservative
+    lookahead window equal to the fabric's inter-rack propagation delay.
+    The result is bit-identical to the serial run (same fingerprint,
+    same canonical event digest) — see docs/PERFORMANCE.md.
+
+    ``processes`` > 0 runs that many shards as forked worker processes
+    (0 = all shards in-process).  ``lookahead_us`` can only *tighten*
+    the fabric-derived lookahead (useful for stress-testing the
+    synchronization protocol; never needed for correctness).
+
+    ``fault_streams`` picks how stochastic fault draws are keyed:
+    ``"shared"`` is the classic one-stream-per-spec mode (pinned by
+    golden schedules), ``"per-component"`` keys draws by component so
+    schedules survive decomposition, ``"auto"`` resolves to
+    per-component exactly when sharding is on.
+    """
+
+    shards: str = "none"               # none | by-rack
+    processes: int = 0                 # 0 = in-process shards
+    lookahead_us: Optional[float] = None
+    fault_streams: str = "auto"        # auto | shared | per-component
+
+    def resolved_fault_streams(self) -> str:
+        if self.fault_streams != "auto":
+            return self.fault_streams
+        return "per-component" if self.shards != "none" else "shared"
+
+
 @dataclass(frozen=True)
 class ScenarioSpec:
     """The whole deployment, as data."""
@@ -292,6 +336,7 @@ class ScenarioSpec:
     steering: Tuple[SteeringSpec, ...] = ()
     rebalance: Optional[RebalanceSpec] = None
     observability: ObsSpec = ObsSpec()
+    execution: ExecSpec = ExecSpec()
     seed: int = 42
     duration_us: float = 20_000.0
     description: str = ""
@@ -520,6 +565,57 @@ class ScenarioSpec:
             if decl.kind == "rack_down" and decl.target not in rack_name_set:
                 problems.append(f"fault rack_down: unknown rack "
                                 f"{decl.target!r}")
+        ex = self.execution
+        if ex.shards not in EXEC_SHARDS:
+            problems.append(f"execution: unknown shards mode "
+                            f"{ex.shards!r} (have {EXEC_SHARDS})")
+        if ex.processes < 0:
+            problems.append("execution: processes must be >= 0")
+        if ex.fault_streams not in FAULT_STREAM_MODES:
+            problems.append(f"execution: unknown fault_streams mode "
+                            f"{ex.fault_streams!r} "
+                            f"(have {FAULT_STREAM_MODES})")
+        if ex.lookahead_us is not None and ex.lookahead_us <= 0:
+            problems.append("execution: lookahead_us must be positive")
+        for fleet in self.fleets:
+            if fleet.lattice_us < 0:
+                problems.append(f"fleet {fleet.client}: lattice_us must "
+                                f"be >= 0")
+        if ex.shards == "by-rack":
+            # the shard executor proves bit-identity against the serial
+            # run; planes that share mutable state across racks (or
+            # sample global time) are not decomposable yet and are
+            # rejected rather than silently diverging
+            if self.steering:
+                problems.append("execution: by-rack sharding does not "
+                                "support steering services yet")
+            if self.rebalance is not None:
+                problems.append("execution: by-rack sharding does not "
+                                "support the rebalancer yet")
+            if self.observability.trace:
+                problems.append("execution: by-rack sharding does not "
+                                "support tracing yet")
+            if self.observability.pulse is not None \
+                    or self.observability.slos:
+                problems.append("execution: by-rack sharding does not "
+                                "support pulse sampling / SLOs yet")
+            if ex.fault_streams == "shared":
+                problems.append(
+                    "execution: by-rack sharding needs per-component "
+                    "fault streams (shared streams depend on the global "
+                    "event interleaving)")
+            if self.is_multi_rack() \
+                    and self.fabric.inter_rack_propagation_us <= 0:
+                problems.append(
+                    "execution: by-rack sharding needs "
+                    "fabric.inter_rack_propagation_us > 0 (it is the "
+                    "conservative lookahead)")
+            for decl in self.faults:
+                if decl.kind in EVENT_KINDS and decl.max_count is not None:
+                    problems.append(
+                        f"execution: by-rack sharding cannot honour "
+                        f"max_count on event fault {decl.kind!r} (the cap "
+                        f"is a global count across shards)")
         if self.duration_us <= 0:
             problems.append("duration_us must be positive")
         if problems:
@@ -608,13 +704,16 @@ def from_dict(data: Dict[str, Any]) -> ScenarioSpec:
         for s in obs_data.pop("slos", ()))
     obs = build(ObsSpec, {**obs_data, "pulse": pulse, "slos": slos})
     fabric = build(FabricSpec, data.get("fabric", {}))
+    execution = build(ExecSpec, data.get("execution", {}))
     top = {k: v for k, v in data.items()
            if k not in ("racks", "apps", "fleets", "faults", "steering",
-                        "rebalance", "observability", "fabric")}
+                        "rebalance", "observability", "fabric",
+                        "execution")}
     return build(ScenarioSpec, {
         **top, "racks": tuple(racks), "fabric": fabric, "apps": apps,
         "fleets": fleets, "faults": faults, "steering": steering,
-        "rebalance": rebalance, "observability": obs})
+        "rebalance": rebalance, "observability": obs,
+        "execution": execution})
 
 
 def to_json(spec: ScenarioSpec, indent: int = 2) -> str:

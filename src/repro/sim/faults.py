@@ -170,13 +170,26 @@ class FaultPlane:
     """
 
     def __init__(self, sim: Simulator, seed: int = 42,
-                 specs: Optional[List[FaultSpec]] = None):
+                 specs: Optional[List[FaultSpec]] = None,
+                 component_streams: bool = False):
         self.sim = sim
         self.seed = seed
         self.specs: List[FaultSpec] = []
         self._rngs: List[Rng] = []
         self._matched: List[int] = []      # matching events seen, per spec
         self._injections: List[int] = []   # faults injected, per spec
+        #: per-(spec, component) streams: the stochastic/counted decision
+        #: for an event depends only on (seed, spec, component, match
+        #: ordinal on that component) — not on the global interleaving of
+        #: matches across components.  This makes event-fault schedules
+        #: decomposition-stable, which is what lets the rack-sharded
+        #: executor reproduce the serial schedule exactly (each shard
+        #: sees only its own components, in the same per-component
+        #: order).  Off by default: the shared-stream mode is pinned by
+        #: existing golden fault schedules.
+        self._component_streams = component_streams
+        self._component_rngs: Dict[Tuple[int, str], Rng] = {}
+        self._component_matched: Dict[Tuple[int, str], int] = {}
         self.counts: Dict[str, int] = {}
         #: deterministic-replay record: (time_us, kind, component)
         self.schedule_log: List[Tuple[float, str, str]] = []
@@ -218,11 +231,26 @@ class FaultPlane:
         self.counts[kind] = self.counts.get(kind, 0) + 1
         self.schedule_log.append((round(self.sim.now, 6), kind, component))
 
-    def _decide(self, idx: int) -> bool:
+    def _decide(self, idx: int, component: Optional[str] = None) -> bool:
         """Event-trigger decision for spec ``idx`` (already matched)."""
         if self._exhausted(idx):
             return False
         spec = self.specs[idx]
+        if self._component_streams and component is not None:
+            key = (idx, component)
+            matched = self._component_matched.get(key, 0) + 1
+            self._component_matched[key] = matched
+            if spec.every_nth and matched % spec.every_nth == 0:
+                return True
+            if spec.probability > 0.0:
+                rng = self._component_rngs.get(key)
+                if rng is None:
+                    salt = zlib.crc32(
+                        f"fault-{idx}-{spec.kind}-{component}".encode())
+                    rng = Rng((self.seed * 1_000_003 + salt) & 0x7FFFFFFF)
+                    self._component_rngs[key] = rng
+                return rng.random() < spec.probability
+            return False
         self._matched[idx] += 1
         if spec.every_nth and self._matched[idx] % spec.every_nth == 0:
             return True
@@ -239,7 +267,7 @@ class FaultPlane:
                 continue
             if not fnmatchcase(component, spec.target):
                 continue
-            if self._decide(idx):
+            if self._decide(idx, component):
                 self._record(idx, kind, component)
                 window_ok = True
         return window_ok
@@ -349,6 +377,15 @@ class FaultPlane:
         if idx in self._armed_rack_specs:
             return
         self._armed_rack_specs.add(idx)
+        # Only the fabric that owns the rack schedules the outage: a
+        # rack-sharded run wires one FaultPlane per shard against a
+        # single-rack fabric, and the non-owner shards must not emit
+        # phantom _fire_rack events (the merged event digest would
+        # diverge from the serial run).  The global fabric owns every
+        # declared rack, so this gate is a no-op for serial runs.
+        switches = getattr(self._network, "switches", None)
+        if switches is not None and self.specs[idx].target not in switches:
+            return
         for when in self.specs[idx].fire_times():
             self.sim.call_at(max(when, self.sim.now), self._fire_rack, idx)
 

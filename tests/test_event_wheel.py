@@ -1,0 +1,117 @@
+"""Tests for the calendar-wheel event queue (``Simulator(queue="auto")``).
+
+The wheel is a perf substitution, not a semantic change: every test
+here drives the same pre-drawn event plan through an ``auto`` simulator
+(which upgrades past the threshold) and a ``heap``-pinned one, and
+asserts the observable firing order is identical.  Plans are drawn
+*before* the runs so the comparison never depends on RNG call order.
+"""
+
+import random
+
+import pytest
+
+from repro.sim import SimulationError, Simulator
+from repro.sim.engine import _WHEEL_THRESHOLD
+
+
+def _fill(sim, count, horizon=1_000.0):
+    """Post enough far-future ballast to cross the upgrade threshold."""
+    for i in range(count):
+        sim.post_at(horizon + i * 0.25, lambda: None)
+
+
+def test_queue_mode_is_validated():
+    with pytest.raises(SimulationError, match="queue mode"):
+        Simulator(queue="bogus")
+
+
+def test_upgrade_is_automatic_and_one_way():
+    auto = Simulator(queue="auto")
+    pinned = Simulator(queue="heap")
+    _fill(auto, _WHEEL_THRESHOLD + 1)
+    _fill(pinned, _WHEEL_THRESHOLD + 1)
+    assert auto._wheel is not None
+    assert pinned._wheel is None
+    auto.run(until=10.0)          # draining below threshold stays wheeled
+    assert auto._wheel is not None
+
+
+def test_wheel_and_heap_fire_identical_order():
+    rng = random.Random(20260808)
+    plan = [(rng.uniform(0.0, 500.0), tag) for tag in range(6_000)]
+
+    def run(queue):
+        sim = Simulator(queue=queue)
+        fired = []
+        for when, tag in plan:
+            sim.post_at(when, lambda w=when, t=tag: fired.append((w, t)))
+        sim.run()
+        return fired, sim.now
+
+    wheel_fired, wheel_now = run("auto")
+    heap_fired, heap_now = run("heap")
+    assert len(wheel_fired) == len(plan)
+    assert wheel_fired == heap_fired
+    assert wheel_now == heap_now
+
+
+def test_cancel_and_reschedule_survive_the_upgrade():
+    rng = random.Random(7)
+    plan = [(rng.uniform(0.0, 200.0), rng.random() < 0.3, tag)
+            for tag in range(5_500)]
+
+    def run(queue):
+        sim = Simulator(queue=queue)
+        fired = []
+        handles = []
+        for when, doomed, tag in plan:
+            handles.append(
+                (sim.call_at(when, lambda t=tag: fired.append(t)), doomed))
+        for handle, doomed in handles:
+            if doomed:
+                handle.cancel()
+        sim.run()
+        return fired
+
+    assert run("auto") == run("heap")
+
+
+def test_events_posted_during_wheel_run_fire_in_order():
+    def run(queue):
+        sim = Simulator(queue=queue)
+        fired = []
+
+        def chain(depth):
+            fired.append((sim.now, depth))
+            if depth:
+                sim.post(0.5, chain, depth - 1)
+
+        _fill(sim, _WHEEL_THRESHOLD + 1)
+        sim.post_at(1.0, chain, 64)
+        sim.run(until=100.0)
+        return fired
+
+    assert run("auto") == run("heap")
+
+
+def test_next_event_time_and_bounded_run_in_wheel_mode():
+    sim = Simulator(queue="auto")
+    _fill(sim, _WHEEL_THRESHOLD + 1, horizon=50.0)
+    sim.post_at(7.25, lambda: None)
+    assert sim.next_event_time() == 7.25
+    sim.run(until=5.0)
+    assert sim.now == 5.0
+    assert sim.next_event_time() == 7.25
+
+
+def test_step_executes_one_event_in_wheel_mode():
+    sim = Simulator(queue="auto")
+    fired = []
+    _fill(sim, _WHEEL_THRESHOLD + 1, horizon=90.0)
+    sim.post_at(1.0, lambda: fired.append("a"))
+    sim.post_at(2.0, lambda: fired.append("b"))
+    assert sim._wheel is not None
+    assert sim.step()
+    assert fired == ["a"]
+    assert sim.now == 1.0
