@@ -20,6 +20,7 @@ from .monitors import (
     DmoMonitor,
     InvariantViolation,
     PaxosMonitor,
+    PlanMonitor,
     PulseMonitor,
     RingMonitor,
     SchedulerMonitor,
@@ -51,6 +52,7 @@ __all__ = [
     "InvariantViolation",
     "LintFinding",
     "PaxosMonitor",
+    "PlanMonitor",
     "PulseMonitor",
     "RingMonitor",
     "RULES",

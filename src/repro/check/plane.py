@@ -37,6 +37,7 @@ from .monitors import (
     DmoMonitor,
     InvariantViolation,
     PaxosMonitor,
+    PlanMonitor,
     PulseMonitor,
     RingMonitor,
     SchedulerMonitor,
@@ -69,6 +70,7 @@ class CheckPlane:
         self._paxos: Optional[PaxosMonitor] = None
         self._steering: Optional[SteeringMonitor] = None
         self._pulse: Optional[PulseMonitor] = None
+        self._plan: Optional[PlanMonitor] = None
         sim.checker = self
 
     def uninstall(self) -> None:
@@ -136,6 +138,15 @@ class CheckPlane:
             self._steering = SteeringMonitor(controller)
             self.add_monitor(self._steering)
         return self._steering
+
+    def watch_plan(self, server: str, runtime, placements) -> PlanMonitor:
+        """Watch one runtime's planned actor placement (one monitor per
+        plane; repeat calls register more runtimes on it)."""
+        if self._plan is None:
+            self._plan = PlanMonitor()
+            self.add_monitor(self._plan)
+        self._plan.watch(server, runtime, placements)
+        return self._plan
 
     def watch_pulse(self, pulse) -> PulseMonitor:
         """Watch a PulsePlane for passivity/lattice/accounting violations

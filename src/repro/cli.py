@@ -221,6 +221,19 @@ def _sec57(quick: bool = False, jobs: int = 1) -> None:
           f"Gbps, 25GbE={ipsec_goodput_gbps(spec=LIQUIDIO_CN2360, duration_us=duration):.1f} Gbps")
 
 
+def _plan_study(quick: bool = False, jobs: int = 1) -> None:
+    from .experiments.plan_study import render_comparison, run_study
+    study = run_study(quick=quick)
+    print(render_table(render_comparison(study["comparisons"]),
+                       title="PlanPlane: planner vs reactive DRR "
+                             "(docs/PLANNING.md)"))
+    chaos = study["chaos"]
+    print(chaos.describe())
+    if not chaos.ok:
+        raise SystemExit("plan-study: planned placement broke the chaos "
+                         "recovery criterion")
+
+
 def _cmd_trace(argv) -> int:
     """``repro trace``: run a traced workload, export Chrome trace JSON."""
     from .experiments.chaos_study import RUNNERS
@@ -384,31 +397,44 @@ def _cmd_bench(argv) -> int:
     args = parser.parse_args(argv)
     bench = run_bench(pool=args.pool, quick=not args.full,
                       figures=args.figures)
+    # The file is written before any printing or gating: a section that
+    # errored is stamped into it, and CI uploads it ``if: always()``.
     write_bench(bench, args.out)
+    errored = sorted(section for section, metrics in bench.items()
+                     if isinstance(metrics, dict) and "error" in metrics)
     kern, sw = bench["kernel"], bench["sweep"]
-    print(f"wrote {args.out}")
-    print(f"  kernel: post chain {kern['post_chain_eps']:,.0f} ev/s "
-          f"(seed kernel {kern['seed_chain_eps']:,.0f}; "
-          f"{kern['speedup_post_vs_seed']:.2f}x), cancel-heavy "
-          f"{kern['speedup_cancel_vs_seed']:.2f}x, peak heap "
-          f"{kern['cancel_heavy_peak_heap']:.0f} vs seed "
-          f"{kern['cancel_heavy_seed_peak_heap']:.0f}")
-    speedup = sw.get("pool_speedup")
-    pool_txt = (f"pool x{sw['pool']} {speedup:.2f}x" if speedup is not None
-                else f"pool x{sw['pool']} skipped "
-                     f"({sw.get('pool_note', 'single-core host')})")
-    print(f"  sweep ({sw['points']} pts): {pool_txt}, "
-          f"warm cache {sw['cached_speedup']:.2f}x "
-          f"(hit rate {sw['cache_hit_rate']:.0%}), "
-          f"identical={sw['identical']}")
+    cores = bench.get("meta", {}).get("runner_cores", "?")
+    print(f"wrote {args.out} ({cores} runner core(s))")
+    if "kernel" not in errored:
+        print(f"  kernel: post chain {kern['post_chain_eps']:,.0f} ev/s "
+              f"(seed kernel {kern['seed_chain_eps']:,.0f}; "
+              f"{kern['speedup_post_vs_seed']:.2f}x), cancel-heavy "
+              f"{kern['speedup_cancel_vs_seed']:.2f}x, peak heap "
+              f"{kern['cancel_heavy_peak_heap']:.0f} vs seed "
+              f"{kern['cancel_heavy_seed_peak_heap']:.0f}")
+    if "sweep" not in errored:
+        speedup = sw.get("pool_speedup")
+        pool_txt = (f"pool x{sw['pool']} {speedup:.2f}x"
+                    if speedup is not None
+                    else f"pool x{sw['pool']} skipped "
+                         f"({sw.get('pool_note', 'single-core host')})")
+        print(f"  sweep ({sw['points']} pts): {pool_txt}, "
+              f"warm cache {sw['cached_speedup']:.2f}x "
+              f"(hit rate {sw['cache_hit_rate']:.0%}), "
+              f"identical={sw['identical']}")
     shard = bench.get("shard")
-    if shard:
+    if shard and "shard" not in errored:
+        proc = shard.get("proc_speedup")
+        proc_txt = (f", process-sharded {proc:.2f}x" if proc is not None
+                    else f" ({shard.get('proc_note', 'no process leg')})")
         print(f"  shard ({shard['spec']}): {shard['racks']} racks, "
               f"serial {shard['serial_s']:.2f}s vs sharded "
               f"{shard['shard_s']:.2f}s ({shard['shard_speedup']:.2f}x on "
-              f"{shard['effective_jobs']} effective core(s)), "
-              f"rounds={shard['rounds']}, "
+              f"{shard['effective_jobs']} effective core(s))"
+              f"{proc_txt}, rounds={shard['rounds']}, "
               f"fingerprint match={shard['match']}")
+    for section in errored:
+        print(f"  {section}: ERRORED: {bench[section]['error']}")
     if args.check:
         with open(args.check) as fh:
             baseline = json.load(fh)
@@ -419,7 +445,7 @@ def _cmd_bench(argv) -> int:
                 print(f"  {failure}")
             return 1
         print(f"  no regression vs {args.check}")
-    return 0
+    return 1 if errored else 0
 
 
 def _scenario_names() -> tuple:
@@ -439,7 +465,8 @@ def _scenario_names() -> tuple:
 #: shipped scenario spec (as ``scenario-<name>``).
 CHECK_TARGETS = ("fig5", "fig16", "chaos-rkv", "chaos-dt", "chaos-rta",
                  "steering-chaos", "slo-study"
-                 ) + tuple(f"scenario-{name}" for name in _scenario_names())
+                 ) + tuple(f"scenario-{name}" for name in _scenario_names()) \
+                   + tuple(f"plan-{name}" for name in _scenario_names())
 
 
 def _check_run_fn(target: str, quick: bool, seed: int | None):
@@ -488,6 +515,24 @@ def _check_run_fn(target: str, quick: bool, seed: int | None):
             spec = dataclasses.replace(spec, seed=seed)
         duration = 5_000.0 if quick else None
         return lambda: run_scenario(spec, duration_us=duration).fingerprint()
+    if target.startswith("plan-"):
+        # the whole planning pipeline: profile -> solve -> apply -> run;
+        # the digest covers the plan *and* the planned run
+        import dataclasses
+        from .plan import apply_placement, compute_plan
+        from .scenario import load_shipped, run_scenario
+        spec = load_shipped(target[len("plan-"):])
+        if seed is not None:
+            spec = dataclasses.replace(spec, seed=seed)
+        duration = 5_000.0 if quick else None
+        profile_us = 2_000.0 if quick else None
+
+        def planned_run():
+            plan = compute_plan(spec, profile_us)
+            planned = apply_placement(plan, spec)
+            result = run_scenario(planned, duration_us=duration)
+            return (plan.fingerprint(), result.fingerprint())
+        return planned_run
     workload = target.split("-", 1)[1]
     from .exec.grids import chaos_point
     kwargs = {"seed": 42 if seed is None else seed}
@@ -645,6 +690,102 @@ def _cmd_scenario(argv) -> int:
     return 0
 
 
+def _cmd_plan(argv) -> int:
+    """``repro plan``: compile a profile-driven placement plan."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro plan",
+        description="Profile one scenario under the TracePlane, solve "
+                    "fabric-wide shard/actor placement against the "
+                    "calibrated NIC/host cost models, and emit the plan "
+                    "as a declarative PlacementSpec (docs/PLANNING.md). "
+                    "Exit code 0: planned (and, with --run, ran) "
+                    "successfully. Exit code 1: the plan failed "
+                    "validation, did not fit the scenario, or the "
+                    "planned run failed. Exit code 2: usage error.")
+    parser.add_argument("scenario", metavar="SCENARIO",
+                        help="shipped name or .json/.toml spec path")
+    parser.add_argument("--out", metavar="PLAN.json", default=None,
+                        help="write the PlacementSpec JSON here")
+    parser.add_argument("--spec-out", metavar="SPEC.json", default=None,
+                        help="also write the planned (transformed) "
+                             "scenario spec here")
+    parser.add_argument("--validate", metavar="PLAN.json", default=None,
+                        help="validate an existing plan against the "
+                             "scenario instead of solving a new one")
+    parser.add_argument("--profile-us", type=float, default=None,
+                        metavar="US", help="profiling window (default: "
+                        "min(spec horizon, 5000µs))")
+    parser.add_argument("--run", action="store_true",
+                        help="run the planned scenario and report it "
+                             "next to the unplanned (reactive) run")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="always re-profile and re-solve; do not "
+                             "touch the result cache")
+    args = parser.parse_args(argv)
+
+    from .exec import DEFAULT_CACHE_DIR, ResultCache
+    from .plan import (PlanError, apply_placement, plan_scenario, to_json)
+    from .plan import from_file as plan_from_file
+    from .scenario import ScenarioError, run_scenario
+    from .scenario import to_json as spec_to_json
+    try:
+        spec = _resolve_spec(args.scenario)
+        spec.validate()
+
+        if args.validate is not None:
+            plan = plan_from_file(args.validate).validate()
+            planned = apply_placement(plan, spec)
+            planned.validate()
+            print(f"ok   {args.validate} fits {spec.name} "
+                  f"(plan {plan.fingerprint()}, "
+                  f"{len(plan.actors)} actor placements)")
+            return 0
+
+        cache = None if args.no_cache else ResultCache(
+            os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR))
+        plan = plan_scenario(spec, profile_duration_us=args.profile_us,
+                             cache=cache)
+        planned = apply_placement(plan, spec)
+        planned.validate()
+
+        nic = sum(1 for p in plan.actors if p.device == "nic")
+        host = len(plan.actors) - nic
+        print(f"plan {spec.name}: {len(plan.assignments)} shard "
+              f"assignment(s), {len(plan.actors)} actor placement(s) "
+              f"({nic} nic / {host} host)")
+        print(f"  profile {plan.profile_fingerprint}, "
+              f"plan {plan.fingerprint()}, "
+              f"predicted p99 {plan.objective_p99_us:.3f}µs")
+        for a in plan.assignments:
+            print(f"  {a.app} shard {a.shard}: "
+                  f"{a.servers[0]} (leader) + "
+                  f"{', '.join(a.servers[1:]) or 'no followers'}")
+        if args.out is not None:
+            with open(args.out, "w", encoding="utf-8") as fh:
+                fh.write(to_json(plan))
+            print(f"  wrote {args.out}")
+        if args.spec_out is not None:
+            with open(args.spec_out, "w", encoding="utf-8") as fh:
+                fh.write(spec_to_json(planned))
+            print(f"  wrote {args.spec_out}")
+
+        if args.run:
+            planned_res = run_scenario(planned)
+            reactive_res = run_scenario(spec)
+            for label, res in (("planned", planned_res),
+                               ("reactive", reactive_res)):
+                done = res.completed or sum(res.client_received.values())
+                line = (f"  {label}: {done} completed")
+                if res.completed:
+                    line += (f", p99 {res.p99_latency_us:.3f}µs")
+                line += f", fingerprint {res.fingerprint()}"
+                print(line)
+        return 0
+    except (PlanError, ScenarioError, OSError, KeyError) as exc:
+        print(f"plan failed: {exc}", file=sys.stderr)
+        return 1
+
+
 def _cmd_lint(argv) -> int:
     """``repro lint``: static nondeterminism-hazard pass over src/repro."""
     import os
@@ -702,6 +843,7 @@ EXPERIMENTS: Dict[str, Callable[..., None]] = {
     "fig18": _fig18,
     "sec5.6": _sec56,
     "sec5.7": _sec57,
+    "plan-study": _plan_study,
 }
 
 
@@ -722,6 +864,8 @@ def main(argv=None) -> int:
         return _cmd_lint(argv[1:])
     if argv and argv[0] == "scenario":
         return _cmd_scenario(argv[1:])
+    if argv and argv[0] == "plan":
+        return _cmd_plan(argv[1:])
     if argv and argv[0] == "run":
         # shorthand: ``repro run SPEC ...`` == ``repro scenario run ...``
         return _cmd_scenario(["run"] + argv[1:])

@@ -27,12 +27,26 @@
 * **shard** — wall-clock of the ``multi-rack-rkv`` scenario executed
   serially vs through the parallel-in-time
   :class:`~repro.exec.shard.RackShardExecutor`, asserting the result
-  fingerprints match.  Wall-clock only (never gated): in-process shards
-  on a single core measure coordination overhead, not speedup.
+  fingerprints match.  On a host with ≥2 effective cores a third leg
+  forks one worker per rack (``processes=len(racks)``) and records the
+  real multi-core ``proc_speedup`` — the ROADMAP's "demonstrate the
+  shard speedup on real hardware" number.  Wall-clock only (never
+  gated): in-process shards on a single core measure coordination
+  overhead, not speedup.
 
 Regression policy: ``check_regression`` fails when any ``*_eps`` metric
 in any section drops more than 30% below the committed baseline;
-wall-clock seconds and speedup ratios never gate.
+wall-clock seconds and speedup ratios never gate.  Sections whose
+``effective_jobs`` differ between bench and baseline are skipped
+entirely — a 1-core row must never be compared against a 4-core row —
+which is why ``meta.runner_cores`` stamps the core count into every
+emitted file.
+
+Each section is guarded: if a benchmark raises, the section becomes
+``{"error": ...}`` and the remaining sections still run, so
+``BENCH_sweep.json`` is always written (CI uploads it ``if: always()``)
+and the failure is gated by ``check_regression`` instead of a stack
+trace with no artifact.
 """
 
 from __future__ import annotations
@@ -376,8 +390,10 @@ def shard_bench(spec_name: str = "multi-rack-rkv",
 
     Asserts the fingerprints match (the executor's contract).  Pure
     wall-clock — never gated: with in-process shards on a single core
-    this measures the conservative-window coordination overhead, and
-    real speedup needs one core per rack (``processes > 0``)."""
+    this measures the conservative-window coordination overhead; real
+    speedup needs one core per rack, so on a host with ≥2 effective
+    cores a third leg forks one worker per rack and records
+    ``proc_speedup`` (``None`` + ``proc_note`` otherwise)."""
     from dataclasses import replace
     from ..scenario import load_shipped, run_scenario
     from .shard import RackShardExecutor
@@ -401,18 +417,37 @@ def shard_bench(spec_name: str = "multi-rack-rkv",
     if not match:
         raise RuntimeError(
             f"sharded {spec_name} diverged from the serial run")
-    return {
+
+    racks = len(spec.racks)
+    effective_jobs = effective_parallelism(racks)
+    out: Dict[str, Any] = {
         "spec": spec_name,
-        "racks": len(spec.racks),
+        "racks": racks,
         "duration_us": duration_us,
-        "effective_jobs": effective_parallelism(len(spec.racks)),
+        "effective_jobs": effective_jobs,
         "serial_s": serial_s,
         "shard_s": shard_s,
         "shard_speedup": serial_s / shard_s if shard_s > 0 else 0.0,
         "rounds": executor.rounds,
         "transfers": executor.transfers,
         "match": match,
+        "proc_speedup": None,
     }
+    if effective_jobs >= 2:
+        proc_exec = RackShardExecutor(spec, duration_us=duration_us,
+                                      processes=racks)
+        t0 = time.perf_counter()
+        proc = proc_exec.run()
+        proc_s = time.perf_counter() - t0
+        if serial.fingerprint() != proc.fingerprint():
+            raise RuntimeError(
+                f"process-sharded {spec_name} diverged from the serial run")
+        out["proc_s"] = proc_s
+        out["proc_speedup"] = serial_s / proc_s if proc_s > 0 else 0.0
+    else:
+        out["proc_note"] = (f"host has {effective_jobs} effective core(s); "
+                            f"process-shard comparison skipped")
+    return out
 
 
 # -- figure wall-clock ---------------------------------------------------------
@@ -431,6 +466,15 @@ def figure_wallclock(quick: bool = True, jobs: int = 1) -> Dict[str, float]:
 
 # -- assembly / regression gate ------------------------------------------------
 
+def _guarded(fn: Callable[[], Dict[str, Any]]) -> Dict[str, Any]:
+    """Run one bench section; on failure stamp the error instead of
+    aborting the whole bench, so the output file is always written."""
+    try:
+        return fn()
+    except Exception as exc:
+        return {"error": f"{type(exc).__name__}: {exc}"}
+
+
 def run_bench(pool: int = 4, quick: bool = True,
               figures: bool = False) -> Dict[str, Any]:
     bench: Dict[str, Any] = {
@@ -438,15 +482,17 @@ def run_bench(pool: int = 4, quick: bool = True,
             "python": platform.python_version(),
             "platform": platform.platform(),
             "cpu_count": os.cpu_count(),
+            "runner_cores": os.cpu_count() or 1,
             "code_fingerprint": code_fingerprint()[:16],
             "quick": quick,
         },
-        "kernel": kernel_bench(),
-        "sweep": sweep_bench(pool=pool, quick=quick),
-        "shard": shard_bench(),
+        "kernel": _guarded(kernel_bench),
+        "sweep": _guarded(lambda: sweep_bench(pool=pool, quick=quick)),
+        "shard": _guarded(shard_bench),
     }
     if figures:
-        bench["figures_wall_s"] = figure_wallclock(quick=quick, jobs=pool)
+        bench["figures_wall_s"] = _guarded(
+            lambda: figure_wallclock(quick=quick, jobs=pool))
     return bench
 
 
@@ -462,13 +508,23 @@ def check_regression(bench: Dict[str, Any], baseline: Dict[str, Any],
 
     Returns a list of failure strings (empty == pass).  Every ``*_eps``
     metric in every baseline section gates; wall-clock seconds and
-    speedup ratios vary too much across hosts.
+    speedup ratios vary too much across hosts.  A section that errored
+    (``{"error": ...}``) is one failure.  A section whose
+    ``effective_jobs`` differs from the baseline's ran on a different
+    core count and is skipped — its numbers are not comparable.
     """
     failures = []
     for section, base_metrics in baseline.items():
         if section == "meta" or not isinstance(base_metrics, dict):
             continue
         new_metrics = bench.get(section, {})
+        if isinstance(new_metrics, dict) and "error" in new_metrics:
+            failures.append(f"{section}: errored: {new_metrics['error']}")
+            continue
+        base_jobs = base_metrics.get("effective_jobs")
+        if (base_jobs is not None
+                and new_metrics.get("effective_jobs") != base_jobs):
+            continue
         for name, base_value in base_metrics.items():
             if not name.endswith("_eps") \
                     or not isinstance(base_value, (int, float)):

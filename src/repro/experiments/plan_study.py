@@ -1,0 +1,176 @@
+"""Planner vs reactive-DRR head-to-head (the PlanPlane evaluation).
+
+Three questions, answered on the paper's own workloads:
+
+1. **Steady state** — on the §5.1 three-server deployments of RKV
+   (fig17's workload), DT, and RTA (the fig18 actor families), does the
+   compiled placement match or beat the reactive scheduler's p99 and
+   host-core footprint?  The reactive runtime starts everything on the
+   NIC and discovers the right split by migrating under pressure; the
+   planner starts *at* the split the profile implies, so it should save
+   the convergence transient without hurting the steady state.
+2. **Chaos** — applying a plan to the multi-rack chaos scenario (link
+   loss + server crashes + recovery) must not break zero-loss recovery:
+   faults still inject, recoveries still complete, and the planned
+   run's completion count stays within tolerance of the reactive run's.
+3. **Determinism** — every planned run replays bit-identically (same
+   fingerprint twice), so plans are CI-gateable artifacts.
+
+``python -m repro plan-study`` renders the comparison table; CI runs it
+with ``--quick`` in the gated plan pipeline.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..nic import LIQUIDIO_CN2350
+from ..plan import PlacementSpec, apply_placement, compute_plan
+from ..scenario import ScenarioResult, load_shipped, run_scenario
+from .applications import APPS, deployment_spec
+
+#: Completion tolerance for the chaos criterion: a planned placement may
+#: shift work but must not cost more than this fraction of completions.
+CHAOS_COMPLETION_TOLERANCE = 0.10
+
+
+@dataclass
+class PlanComparison:
+    """One workload's planner-vs-reactive outcome."""
+
+    app: str
+    plan: PlacementSpec
+    planned: ScenarioResult
+    reactive: ScenarioResult
+    replay_identical: bool
+
+    @property
+    def nic_actors(self) -> int:
+        return sum(1 for p in self.plan.actors if p.device == "nic")
+
+    @property
+    def host_actors(self) -> int:
+        return len(self.plan.actors) - self.nic_actors
+
+    def _cores(self, result: ScenarioResult) -> float:
+        return sum(result.host_cores.values())
+
+    def row(self) -> List[str]:
+        """One rendered table row (see :func:`render_comparison`)."""
+        return [
+            self.app,
+            f"{self.plan.objective_p99_us:.2f}",
+            f"{self.planned.p99_latency_us:.2f}",
+            f"{self.reactive.p99_latency_us:.2f}",
+            f"{self.planned.completed}",
+            f"{self.reactive.completed}",
+            f"{self._cores(self.planned):.2f}",
+            f"{self._cores(self.reactive):.2f}",
+            f"{self.nic_actors}/{self.host_actors}",
+            "yes" if self.replay_identical else "NO",
+        ]
+
+
+def _run_twice(spec) -> tuple:
+    """(result, replay_identical): the determinism leg of the study."""
+    first = run_scenario(spec)
+    second = run_scenario(spec)
+    return first, first.fingerprint() == second.fingerprint()
+
+
+def compare_app(app: str, clients: int = 24, duration_us: float = 20_000.0,
+                seed: int = 5, packet_size: int = 512,
+                profile_us: Optional[float] = None) -> PlanComparison:
+    """Planner vs reactive on one §5.1 deployment."""
+    spec = deployment_spec("ipipe", app, LIQUIDIO_CN2350, packet_size,
+                           clients, duration_us, seed)
+    plan = compute_plan(spec, profile_us)
+    planned_spec = apply_placement(plan, spec)
+    planned, identical = _run_twice(planned_spec)
+    reactive = run_scenario(spec)
+    return PlanComparison(app=app, plan=plan, planned=planned,
+                          reactive=reactive, replay_identical=identical)
+
+
+@dataclass
+class ChaosPlanResult:
+    """Planned placement under the multi-rack chaos schedule."""
+
+    plan: PlacementSpec
+    planned: ScenarioResult
+    reactive: ScenarioResult
+    replay_identical: bool
+
+    @property
+    def recovery_intact(self) -> bool:
+        """Chaos actually happened and the planned run still completed
+        work through it.  The schedule is link loss under reliable
+        channels, so "zero-loss recovery" means retransmission masks
+        every drop — fault injection must fire and completions must
+        keep flowing (crash/restart schedules additionally surface in
+        ``recoveries``, reported alongside)."""
+        return (self.planned.faults_injected > 0
+                and self._done(self.planned) > 0)
+
+    @property
+    def completion_ok(self) -> bool:
+        floor = ((1.0 - CHAOS_COMPLETION_TOLERANCE)
+                 * self._done(self.reactive))
+        return self._done(self.planned) >= floor
+
+    @property
+    def ok(self) -> bool:
+        return (self.recovery_intact and self.completion_ok
+                and self.replay_identical)
+
+    @staticmethod
+    def _done(result: ScenarioResult) -> int:
+        return result.completed or sum(result.client_received.values())
+
+    def describe(self) -> str:
+        planned, reactive = self._done(self.planned), self._done(self.reactive)
+        return (f"chaos ({self.planned.name}): planned {planned} vs "
+                f"reactive {reactive} completions, faults "
+                f"{self.planned.faults_injected}, recoveries "
+                f"{self.planned.recoveries}, replay identical: "
+                f"{'yes' if self.replay_identical else 'NO'} -> "
+                f"{'OK' if self.ok else 'BROKEN'}")
+
+
+def chaos_plan(duration_us: Optional[float] = None,
+               profile_us: Optional[float] = None) -> ChaosPlanResult:
+    """Plan the multi-rack chaos scenario and prove recovery survives.
+
+    The profile window *includes* the chaos schedule — the plan is made
+    for the faulted world, not a fair-weather one.
+    """
+    spec = load_shipped("multi-rack-chaos")
+    if duration_us is not None:
+        spec = dataclasses.replace(spec, duration_us=duration_us)
+    plan = compute_plan(spec, profile_us)
+    planned_spec = apply_placement(plan, spec)
+    planned, identical = _run_twice(planned_spec)
+    reactive = run_scenario(spec)
+    return ChaosPlanResult(plan=plan, planned=planned, reactive=reactive,
+                           replay_identical=identical)
+
+
+HEADER = ["app", "predicted p99", "planned p99", "reactive p99",
+          "planned done", "reactive done", "planned host cores",
+          "reactive host cores", "nic/host actors", "replay=="]
+
+
+def run_study(quick: bool = False) -> Dict[str, object]:
+    """The whole study: per-app comparisons + the chaos criterion."""
+    kwargs = dict(duration_us=8_000.0, clients=12,
+                  profile_us=2_000.0) if quick else {}
+    comparisons = [compare_app(app, **kwargs) for app in APPS]
+    chaos = chaos_plan(duration_us=10_000.0 if quick else None,
+                       profile_us=2_000.0 if quick else None)
+    return {"comparisons": comparisons, "chaos": chaos}
+
+
+def render_comparison(comparisons: List[PlanComparison]) -> List[List[str]]:
+    return [HEADER] + [c.row() for c in comparisons]

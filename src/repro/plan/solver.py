@@ -1,0 +1,427 @@
+"""The placement compiler: greedy construction + deterministic local
+search over shard assignment and actor/device placement.
+
+The solver consumes a :class:`~repro.plan.profile.PlanProfile` plus the
+calibrated per-device cost models (:func:`~repro.nic.cores.time_on_nic`,
+``time_on_host``) and decides, fabric-wide:
+
+* which server hosts which shard role of each planned app (the replica
+  group partition and per-group leader), and
+* per ``server/actor``, whether the actor runs on NIC or host cores,
+
+under per-device capacity caps and a utilization-aware p99 objective.
+The contract is **determinism, not optimality**: the same profile always
+produces the byte-identical plan (sorted iteration everywhere, strict
+improvement acceptance, no randomness), so plans are cacheable and
+sanitizer-checkable like any other derived artifact.
+
+Mechanically this is Lemur's profile-driven NF-chain placement recast
+onto iPipe's actor model: offload-first construction (everything
+unpinned starts on the NIC, the paper's §4 default), greedy downgrade of
+the worst NIC-residents while any NIC is over capacity (highest host
+speedup first — implication I3: compute-bound actors gain the most from
+the host), then hill-climbing over device flips, leader rotations, and
+cross-group server swaps.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..nic import host_for
+from ..nic.cores import WorkloadProfile, time_on_host, time_on_nic
+from ..scenario.spec import ScenarioSpec, resolve_nic
+from .profile import ActorProfile, PlanProfile
+from .spec import ActorPlacement, PlacementSpec, ShardAssignment
+
+#: Actors each planned app registers, in registration order.
+APP_ACTORS = {
+    "rkv": ("consensus", "memtable", "sst_read", "compaction"),
+    "dt": ("coordinator", "txn_logger", "participant"),
+    "rta": ("filter", "counter", "ranker"),
+}
+
+#: Planner capacity caps: keep devices out of the queueing knee so the
+#: p99 constraint has headroom (utilization beyond this fails the plan).
+NIC_UTIL_CAP = 0.70
+HOST_UTIL_CAP = 0.80
+
+#: Default host-over-NIC gain when an actor carries no Table-3
+#: characterization (the runtime's own fallback ratio).
+DEFAULT_HOST_GAIN = 2.8
+
+#: Host residency prices both ring crossings (request in, response out).
+CROSSINGS_PER_REQUEST = 2.0
+
+#: Objective price (µs) per host core consumed.  Offloading exists to
+#: *free host cores* (§1): host CPU is the scarce fabric-wide resource,
+#: so the planner minimizes host usage first and latency second — an
+#: actor only moves host-side when the NIC is out of capacity or the
+#: compute gain is overwhelming.  This also keeps plans aligned with the
+#: runtime's reactive pull policy (an underloaded NIC pulls actors back
+#: up), so a plan does not immediately get churned by the scheduler it
+#: hands over to.
+HOST_CORE_PRICE_US = 25.0
+
+#: Clamp for the M/M/1-style latency inflation 1/(1-util).
+_UTIL_CLAMP = 0.95
+#: Objective penalty per unit of capacity excess (keeps infeasible
+#: states comparable during search without ever winning).
+_INFEASIBLE_PENALTY = 1e6
+
+_MAX_PASSES = 6
+_EPS = 1e-12
+
+
+@dataclass(frozen=True)
+class _Role:
+    """One shard-group slot of one app: rank 0 is the leader."""
+
+    app: str
+    shard: int
+    rank: int
+    measured_server: str
+
+
+@dataclass
+class _Context:
+    """Everything precomputed once per solve."""
+
+    spec: ScenarioSpec
+    profile: PlanProfile
+    roles: List[_Role] = field(default_factory=list)
+    #: role -> actor rows measured for that role (on its measured server)
+    role_rows: Dict[_Role, List[ActorProfile]] = field(default_factory=dict)
+    #: rows belonging to no planned role (stay where measured)
+    static_rows: List[ActorProfile] = field(default_factory=list)
+    #: per-server device models
+    nic_cores: Dict[str, float] = field(default_factory=dict)
+    host_workers: Dict[str, float] = field(default_factory=dict)
+    #: per-row device times, keyed by (server, actor)
+    nic_us: Dict[Tuple[str, str], float] = field(default_factory=dict)
+    host_us: Dict[Tuple[str, str], float] = field(default_factory=dict)
+    crossing_us: float = 1.0
+    tail_factor: float = 2.0
+    cross_rack_rtt_us: float = 0.0
+    rack_of: Dict[str, str] = field(default_factory=dict)
+    #: app kind -> racks its fleet traffic originates from
+    client_racks: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+
+
+def _device_times(row: ActorProfile, nic_spec, host_spec
+                  ) -> Tuple[float, float]:
+    """(nic_us, host_us) for one actor, anchored to its measurement."""
+    if row.exec_us > 0:
+        wp = WorkloadProfile(row.actor, row.exec_us, row.ipc, row.mpki)
+        nic_us = time_on_nic(wp, nic_spec)
+        host_us = time_on_host(wp, host_spec)
+    elif row.device == "host":
+        host_us = max(row.service_us, 1e-6)
+        nic_us = host_us * DEFAULT_HOST_GAIN
+    else:
+        nic_us = max(row.service_us, 1e-6)
+        host_us = nic_us / DEFAULT_HOST_GAIN
+    if row.service_us > 0:
+        measured = nic_us if row.device == "nic" else host_us
+        if measured > 0:
+            scale = row.service_us / measured
+            nic_us *= scale
+            host_us *= scale
+    return nic_us, host_us
+
+
+def _build_context(profile: PlanProfile, spec: ScenarioSpec) -> _Context:
+    ctx = _Context(spec=spec, profile=profile)
+    ctx.crossing_us = profile.crossing_us()
+    ctx.tail_factor = profile.tail_factor()
+    fabric = spec.fabric
+    ctx.cross_rack_rtt_us = 2.0 * (fabric.spine_latency_us
+                                   + 2.0 * fabric.inter_rack_propagation_us)
+
+    for rack in spec.racks:
+        for server in rack.servers:
+            ctx.rack_of[server.name] = rack.name
+            nic_spec = resolve_nic(server.nic)
+            host_spec = host_for(nic_spec)
+            ctx.nic_cores[server.name] = float(nic_spec.cores)
+            ctx.host_workers[server.name] = float(
+                server.host_workers or host_spec.cores)
+            for row in profile.actors_on(server.name):
+                nic_us, host_us = _device_times(row, nic_spec, host_spec)
+                ctx.nic_us[(row.server, row.actor)] = nic_us
+                ctx.host_us[(row.server, row.actor)] = host_us
+        for client in rack.clients:
+            ctx.rack_of[client.name] = rack.name
+
+    for fleet in spec.fleets:
+        kind = None
+        if fleet.dst.startswith("shard:"):
+            kind = fleet.dst.split(":", 1)[1]
+        else:
+            for app in spec.apps:
+                groups = app.replica_groups(spec.server_names())
+                if any(fleet.dst in g for g in groups):
+                    kind = app.kind
+                    break
+        if kind is not None:
+            racks = set(ctx.client_racks.get(kind, ()))
+            racks.add(ctx.rack_of.get(fleet.client, ""))
+            ctx.client_racks[kind] = tuple(sorted(racks))
+
+    claimed: Dict[Tuple[str, str], _Role] = {}
+    names = spec.server_names()
+    for app in spec.apps:
+        actor_names = APP_ACTORS.get(app.kind)
+        if actor_names is None:
+            continue
+        groups = app.replica_groups(names)
+        for shard, group in enumerate(groups):
+            leader = app.leader if app.leader in group else group[0]
+            ordered = [leader] + [s for s in group if s != leader]
+            for rank, server in enumerate(ordered):
+                role = _Role(app=app.kind, shard=shard, rank=rank,
+                             measured_server=server)
+                ctx.roles.append(role)
+                rows = [r for r in ctx.profile.actors_on(server)
+                        if r.actor in actor_names]
+                ctx.role_rows[role] = rows
+                for row in rows:
+                    claimed[(row.server, row.actor)] = role
+    ctx.static_rows = [r for r in profile.actors
+                       if (r.server, r.actor) not in claimed]
+    return ctx
+
+
+@dataclass
+class _State:
+    """One candidate placement during search."""
+
+    server_of: Dict[_Role, str]
+    #: (role, actor) -> device; static rows keep their measured device
+    device_of: Dict[Tuple[_Role, str], str]
+
+    def clone(self) -> "_State":
+        return _State(dict(self.server_of), dict(self.device_of))
+
+
+def _predict(ctx: _Context, state: _State) -> float:
+    """Utilization-aware p99 estimate of one placement (µs)."""
+    nic_busy: Dict[str, float] = {}
+    host_busy: Dict[str, float] = {}
+    #: (assigned server, device, rate, device_us)
+    placed: List[Tuple[str, str, float, float]] = []
+
+    for row in ctx.static_rows:
+        key = (row.server, row.actor)
+        us = ctx.nic_us[key] if row.device == "nic" else ctx.host_us[key]
+        placed.append((row.server, row.device, row.rate_per_us, us))
+    for role in ctx.roles:
+        server = state.server_of[role]
+        for row in ctx.role_rows[role]:
+            device = state.device_of[(role, row.actor)]
+            key = (row.server, row.actor)    # times keyed by measurement
+            us = ctx.nic_us[key] if device == "nic" else ctx.host_us[key]
+            placed.append((server, device, row.rate_per_us, us))
+
+    for server, device, rate, us in placed:
+        busy = nic_busy if device == "nic" else host_busy
+        busy[server] = busy.get(server, 0.0) + rate * us
+
+    penalty = 0.0
+    nic_util: Dict[str, float] = {}
+    host_util: Dict[str, float] = {}
+    for server in ctx.nic_cores:
+        nu = nic_busy.get(server, 0.0) / ctx.nic_cores[server]
+        hu = host_busy.get(server, 0.0) / ctx.host_workers[server]
+        nic_util[server] = nu
+        host_util[server] = hu
+        if nu > NIC_UTIL_CAP:
+            penalty += (nu - NIC_UTIL_CAP) * _INFEASIBLE_PENALTY
+        if hu > HOST_UTIL_CAP:
+            penalty += (hu - HOST_UTIL_CAP) * _INFEASIBLE_PENALTY
+
+    total_rate = 0.0
+    weighted = 0.0
+    host_cores = 0.0
+    for server, device, rate, us in placed:
+        util = nic_util[server] if device == "nic" else host_util[server]
+        lat = us / (1.0 - min(util, _UTIL_CLAMP))
+        if device == "host":
+            lat += CROSSINGS_PER_REQUEST * ctx.crossing_us
+            host_cores += rate * us
+        weighted += rate * lat
+        total_rate += rate
+    mean = weighted / total_rate if total_rate > 0 else 0.0
+
+    fabric_us = 0.0
+    leaders = [r for r in ctx.roles if r.rank == 0]
+    for role in leaders:
+        racks = ctx.client_racks.get(role.app)
+        if not racks:
+            continue
+        leader_rack = ctx.rack_of.get(state.server_of[role], "")
+        if leader_rack not in racks:
+            nshards = sum(1 for r in leaders if r.app == role.app)
+            fabric_us += ctx.cross_rack_rtt_us / max(nshards, 1)
+
+    return (ctx.tail_factor * mean + fabric_us + penalty
+            + HOST_CORE_PRICE_US * host_cores)
+
+
+def _initial_state(ctx: _Context) -> _State:
+    state = _State(server_of={}, device_of={})
+    for role in ctx.roles:
+        state.server_of[role] = role.measured_server
+        for row in ctx.role_rows[role]:
+            # offload-first (§4): everything unpinned starts on the NIC
+            device = row.device if row.pinned else "nic"
+            state.device_of[(role, row.actor)] = device
+    return state
+
+
+def _greedy_capacity_repair(ctx: _Context, state: _State) -> None:
+    """Downgrade NIC residents (best host speedup first) until every
+    NIC is under its capacity cap."""
+    for _ in range(len(state.device_of) + 1):
+        nic_busy: Dict[str, float] = {}
+        for role in ctx.roles:
+            server = state.server_of[role]
+            for row in ctx.role_rows[role]:
+                if state.device_of[(role, row.actor)] == "nic":
+                    nic_busy[server] = nic_busy.get(server, 0.0) \
+                        + row.rate_per_us * ctx.nic_us[(row.server, row.actor)]
+        for row in ctx.static_rows:
+            if row.device == "nic":
+                nic_busy[row.server] = nic_busy.get(row.server, 0.0) \
+                    + row.rate_per_us * ctx.nic_us[(row.server, row.actor)]
+        over = sorted(s for s, busy in nic_busy.items()
+                      if busy / ctx.nic_cores[s] > NIC_UTIL_CAP)
+        if not over:
+            return
+        moved = False
+        for server in over:
+            candidates = []
+            for role in ctx.roles:
+                if state.server_of[role] != server:
+                    continue
+                for row in ctx.role_rows[role]:
+                    if row.pinned \
+                            or state.device_of[(role, row.actor)] != "nic":
+                        continue
+                    key = (row.server, row.actor)
+                    ratio = ctx.host_us[key] / max(ctx.nic_us[key], 1e-9)
+                    candidates.append((ratio, -row.load(), row.actor, role))
+            if candidates:
+                candidates.sort(key=lambda c: (c[0], c[1], c[2],
+                                               c[3].app, c[3].shard,
+                                               c[3].rank))
+                _, _, actor, role = candidates[0]
+                state.device_of[(role, actor)] = "host"
+                moved = True
+        if not moved:
+            return
+
+
+def _local_search(ctx: _Context, state: _State) -> float:
+    """Hill-climb: device flips, leader rotations, cross-group swaps.
+    Strict-improvement acceptance in a fixed order keeps it
+    deterministic.  Returns the final objective."""
+    best = _predict(ctx, state)
+    for _ in range(_MAX_PASSES):
+        improved = False
+
+        for role in ctx.roles:
+            for row in ctx.role_rows[role]:
+                if row.pinned:
+                    continue
+                key = (role, row.actor)
+                old = state.device_of[key]
+                state.device_of[key] = "host" if old == "nic" else "nic"
+                cand = _predict(ctx, state)
+                if cand < best - _EPS:
+                    best = cand
+                    improved = True
+                else:
+                    state.device_of[key] = old
+
+        apps = sorted({r.app for r in ctx.roles})
+        for app in apps:
+            shards = sorted({r.shard for r in ctx.roles if r.app == app})
+            roles_of = {(r.shard, r.rank): r for r in ctx.roles
+                        if r.app == app}
+            # leader rotation within each group
+            for shard in shards:
+                ranks = sorted(rank for (s, rank) in roles_of if s == shard)
+                lead = roles_of[(shard, 0)]
+                for rank in ranks[1:]:
+                    other = roles_of[(shard, rank)]
+                    state.server_of[lead], state.server_of[other] = \
+                        state.server_of[other], state.server_of[lead]
+                    cand = _predict(ctx, state)
+                    if cand < best - _EPS:
+                        best = cand
+                        improved = True
+                    else:
+                        state.server_of[lead], state.server_of[other] = \
+                            state.server_of[other], state.server_of[lead]
+            # server swaps across groups
+            keys = sorted(roles_of)
+            for i, ka in enumerate(keys):
+                for kb in keys[i + 1:]:
+                    if ka[0] == kb[0]:
+                        continue        # same group: covered by rotation
+                    ra, rb = roles_of[ka], roles_of[kb]
+                    state.server_of[ra], state.server_of[rb] = \
+                        state.server_of[rb], state.server_of[ra]
+                    cand = _predict(ctx, state)
+                    if cand < best - _EPS:
+                        best = cand
+                        improved = True
+                    else:
+                        state.server_of[ra], state.server_of[rb] = \
+                            state.server_of[rb], state.server_of[ra]
+
+        if not improved:
+            break
+    return best
+
+
+def solve(profile: PlanProfile, spec: ScenarioSpec) -> PlacementSpec:
+    """Compile one profile into a validated :class:`PlacementSpec`."""
+    spec.validate()
+    ctx = _build_context(profile, spec)
+    state = _initial_state(ctx)
+    _greedy_capacity_repair(ctx, state)
+    objective = _local_search(ctx, state)
+
+    assignments: List[ShardAssignment] = []
+    apps = sorted({r.app for r in ctx.roles})
+    for app in apps:
+        shards = sorted({r.shard for r in ctx.roles if r.app == app})
+        for shard in shards:
+            members = sorted(
+                (r for r in ctx.roles if r.app == app and r.shard == shard),
+                key=lambda r: r.rank)
+            assignments.append(ShardAssignment(
+                app=app, shard=shard,
+                servers=tuple(state.server_of[r] for r in members)))
+
+    actors: List[ActorPlacement] = []
+    for role in ctx.roles:
+        server = state.server_of[role]
+        for row in ctx.role_rows[role]:
+            actors.append(ActorPlacement(
+                server=server, actor=row.actor,
+                device=state.device_of[(role, row.actor)]))
+    actors.sort(key=lambda p: (p.server, p.actor))
+
+    return PlacementSpec(
+        scenario=spec.name,
+        seed=spec.seed,
+        profile_fingerprint=profile.fingerprint(),
+        objective_p99_us=round(objective, 6),
+        assignments=tuple(assignments),
+        actors=tuple(actors),
+    ).validate()

@@ -17,7 +17,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from ..baselines import DpdkRuntime, FloemRuntime
-from ..core import IPipeRuntime, SchedulerConfig
+from ..core import IPipeRuntime, Location, SchedulerConfig
 from ..host import HostMachine
 from ..net import (
     ClosedLoopGenerator,
@@ -32,6 +32,7 @@ from .spec import (
     AppSpec,
     FabricSpec,
     FleetSpec,
+    ScenarioError,
     ScenarioSpec,
     resolve_nic,
 )
@@ -343,6 +344,50 @@ def _build_app(scenario: Scenario, app: AppSpec) -> BuiltApp:
     return built
 
 
+def _apply_placement_pins(scenario: Scenario) -> None:
+    """Apply a placement plan's build-time device pins
+    (:attr:`AppSpec.placement`): move each named actor to its planned
+    device *before any traffic flows*, so the pinned start state is part
+    of the deterministic build — the planner's equivalent of registering
+    the actor there in the first place.  When a CheckPlane is installed,
+    every applied pin lands on its PlanMonitor, which asserts the plan
+    holds until the first reactive override."""
+    by_server: Dict[str, Dict[str, str]] = {}
+    for app in scenario.spec.apps:
+        for key, device in app.placement:
+            server, _, actor_name = key.partition("/")
+            node = scenario.servers.get(server)
+            if node is None:
+                continue    # rack-sharded partial build: not our shard
+            runtime = node.runtime
+            table = getattr(runtime, "actors", None)
+            if table is None:
+                raise ScenarioError(
+                    [f"placement pin {key!r}: {server} runs "
+                     f"{type(runtime).__name__}, which has no actor table"])
+            actor = table.lookup(actor_name)
+            if actor is None:
+                raise ScenarioError(
+                    [f"placement pin {key!r}: no such actor on {server}"])
+            by_server.setdefault(server, {})[actor_name] = device
+            target = Location.NIC if device == "nic" else Location.HOST
+            if actor.location is target:
+                continue
+            if actor.pinned:
+                raise ScenarioError(
+                    [f"placement pin {key!r}: actor is pinned to "
+                     f"{actor.location.value} and cannot move to {device}"])
+            runtime.dmo.migrate_all(actor.name, target)
+            actor.location = target
+            if hasattr(runtime, "update_steering"):
+                runtime.update_steering(actor)
+    checker = getattr(scenario.sim, "checker", None)
+    if checker is not None and hasattr(checker, "watch_plan"):
+        for server in sorted(by_server):
+            checker.watch_plan(server, scenario.servers[server].runtime,
+                               sorted(by_server[server].items()))
+
+
 # -- client fleets ------------------------------------------------------------
 
 def _make_workload(fleet: FleetSpec, shard: Optional[int] = None):
@@ -449,6 +494,9 @@ def build(spec: ScenarioSpec, sim: Optional[Simulator] = None) -> Scenario:
 
     for app in spec.apps:
         scenario.apps.append(_build_app(scenario, app))
+
+    if any(app.placement for app in spec.apps):
+        _apply_placement_pins(scenario)
 
     if spec.steering:
         _build_steering(scenario)

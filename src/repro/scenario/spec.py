@@ -134,6 +134,9 @@ class AppSpec:
     shards: int = 1
     leader: Optional[str] = None       # rkv: initial leader (per-group: first)
     options: Tuple[Tuple[str, Any], ...] = ()
+    #: build-time device pins from a placement plan (:mod:`repro.plan`):
+    #: ("server/actor", "nic" | "host") pairs applied before any traffic.
+    placement: Tuple[Tuple[str, str], ...] = ()
 
     def option(self, key: str, default=None):
         return dict(self.options).get(key, default)
@@ -407,6 +410,16 @@ class ScenarioSpec:
             if app.leader is not None and app.leader not in known:
                 problems.append(f"app {app.kind}: unknown leader "
                                 f"{app.leader!r}")
+            for key, device in app.placement:
+                if "/" not in key:
+                    problems.append(f"app {app.kind}: placement key "
+                                    f"{key!r} is not 'server/actor'")
+                elif key.split("/", 1)[0] not in known:
+                    problems.append(f"app {app.kind}: placement "
+                                    f"{key!r} names an unknown server")
+                if device not in ("nic", "host"):
+                    problems.append(f"app {app.kind}: placement {key!r} "
+                                    f"device {device!r} is not nic|host")
         for fleet in self.fleets:
             if fleet.client not in clients:
                 problems.append(f"fleet: unknown client {fleet.client!r}")
@@ -680,7 +693,8 @@ def from_dict(data: Dict[str, Any]) -> ScenarioSpec:
         racks.append(RackSpec(name=rack["name"], servers=servers,
                               clients=clients))
     apps = tuple(build(AppSpec, {**a, "servers": tuple(a.get("servers", ())),
-                                 "options": _pairs(a.get("options", ()))})
+                                 "options": _pairs(a.get("options", ())),
+                                 "placement": _pairs(a.get("placement", ()))})
                  for a in data.get("apps", []))
     fleets = tuple(build(FleetSpec, f) for f in data.get("fleets", []))
     faults = tuple(build(FaultDecl, {**d, "at_us": tuple(d.get("at_us", ()))})
