@@ -25,6 +25,7 @@ from .monitors import (
     RingMonitor,
     SchedulerMonitor,
     SteeringMonitor,
+    TenantMonitor,
     Violation,
 )
 from .plane import CheckPlane
@@ -61,6 +62,7 @@ __all__ = [
     "SteeringMonitor",
     "StepRecord",
     "StepRecorder",
+    "TenantMonitor",
     "TieWarning",
     "Violation",
     "callback_id",

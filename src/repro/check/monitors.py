@@ -41,6 +41,14 @@ The invariants:
   until the reactive scheduler first overrides it (a migration starting
   or completing releases the actor from the plan's authority — reactive
   control legitimately takes over from there).
+* **TenantMonitor** — multi-tenant isolation (docs/TENANCY.md): the
+  per-tenant DRR ledgers conserve quantum tenant by tenant
+  (``granted == spent + forfeited + Σ outstanding`` for each tenant),
+  no tenant spends more than it was granted (share overrun), the
+  per-tenant ledgers sum to the scheduler's global ledger, no DMO
+  access ever crosses a tenant boundary
+  (``dmo.cross_tenant_denials`` stays 0), and each tenant's live DMO
+  bytes agree with the usage ledger and respect its byte budget.
 """
 
 from __future__ import annotations
@@ -528,3 +536,124 @@ class PulseMonitor:
                 yield (f"accounting: slo {ev.name!r} in_breach="
                        f"{ev.in_breach} disagrees with last transition "
                        f"{last_kind!r}")
+
+
+class TenantMonitor:
+    """Multi-tenant isolation invariants (docs/TENANCY.md).
+
+    Registered by the scenario builder when a spec declares tenants
+    (:attr:`~repro.scenario.spec.ScenarioSpec.tenants`); one monitor
+    watches every runtime in the testbed.  All checks are read-only
+    scans of ledgers the scheduler and DMO layer maintain anyway, so
+    the monitor adds zero virtual-time cost:
+
+    * **per-tenant conservation** — for every tenant ``t`` on every
+      scheduler, ``granted[t] == spent[t] + forfeited[t] + Σ deficit``
+      of tenant-``t`` runnable actors (the per-tenant refinement of the
+      SchedulerMonitor's global invariant);
+    * **no share overrun** — no tenant spends quantum it was never
+      granted (``spent[t] <= granted[t]``): a tenant exceeding its
+      hierarchical-DRR share would have to, since grants are
+      share-scaled;
+    * **ledger agreement** — the per-tenant dicts sum to the
+      scheduler's global conservation ledger;
+    * **tenant boundary** — ``dmo.cross_tenant_denials`` stays 0; any
+      increment is reported naming the offending actor and both
+      tenants (from ``dmo.last_cross_tenant``);
+    * **byte budgets** — each tenant's live DMO bytes (recomputed from
+      the object tables) agree with the manager's usage ledger and
+      never exceed the tenant's configured budget.
+    """
+
+    name = "tenancy"
+
+    def __init__(self, tolerance_us: float = 1e-3):
+        self.component = "tenantplane"
+        self.tolerance_us = tolerance_us
+        #: server -> runtime
+        self._runtimes: Dict[str, Any] = {}
+        #: server -> cross-tenant denial count already reported
+        self._denials_reported: Dict[str, int] = {}
+
+    def watch(self, server: str, runtime) -> None:
+        """Register one runtime's scheduler + DMO manager."""
+        self._runtimes[server] = runtime
+
+    @property
+    def watched(self) -> int:
+        return len(self._runtimes)
+
+    def check(self, now: float) -> Iterator[str]:
+        for server in sorted(self._runtimes):
+            runtime = self._runtimes[server]
+            yield from self._check_scheduler(server, runtime.nic_scheduler)
+            yield from self._check_dmo(server, runtime.dmo)
+
+    def _check_scheduler(self, server: str, sched) -> Iterator[str]:
+        granted = sched.tenant_granted_us
+        spent = sched.tenant_spent_us
+        forfeited = sched.tenant_forfeited_us
+        outstanding: Dict[str, float] = {}
+        for actor in sched.drr_runnable:
+            tenant = getattr(actor, "tenant", "")
+            outstanding[tenant] = outstanding.get(tenant, 0.0) + actor.deficit
+        tenants = set(granted) | set(spent) | set(forfeited) | set(outstanding)
+        for tenant in sorted(tenants):
+            g = granted.get(tenant, 0.0)
+            s = spent.get(tenant, 0.0)
+            f = forfeited.get(tenant, 0.0)
+            o = outstanding.get(tenant, 0.0)
+            tol = max(self.tolerance_us, 1e-9 * abs(g))
+            label = tenant or "implicit"
+            imbalance = g - s - f - o
+            if abs(imbalance) > tol:
+                yield (f"tenant {label!r} on {server}: DRR quantum not "
+                       f"conserved: granted {g:.3f}µs != spent {s:.3f} + "
+                       f"forfeited {f:.3f} + outstanding {o:.3f} "
+                       f"(off by {imbalance:+.3f}µs)")
+            if s > g + tol:
+                yield (f"tenant {label!r} on {server}: share overrun: "
+                       f"spent {s:.3f}µs against only {g:.3f}µs granted")
+        for kind, per_tenant, total in (
+                ("granted", granted, sched.quantum_granted_us),
+                ("spent", spent, sched.deficit_spent_us),
+                ("forfeited", forfeited, sched.deficit_forfeited_us)):
+            agg = sum(per_tenant.values())
+            tol = max(self.tolerance_us, 1e-9 * abs(total))
+            if abs(agg - total) > tol:
+                yield (f"{server}: per-tenant {kind} ledger sums to "
+                       f"{agg:.3f}µs but the global ledger holds "
+                       f"{total:.3f}µs")
+
+    def _check_dmo(self, server: str, dmo) -> Iterator[str]:
+        denials = dmo.cross_tenant_denials
+        if denials > self._denials_reported.get(server, 0):
+            self._denials_reported[server] = denials
+            last = dmo.last_cross_tenant
+            if last is not None:
+                actor, mine, owner, theirs = last
+                yield (f"cross-tenant DMO access on {server}: actor "
+                       f"{actor!r} (tenant {mine or 'implicit'!r}) touched "
+                       f"an object of {owner!r} (tenant "
+                       f"{theirs or 'implicit'!r}); {denials} denial(s) "
+                       f"so far")
+            else:
+                yield (f"cross-tenant DMO access on {server}: "
+                       f"{denials} denial(s) with no offender recorded")
+        live: Dict[str, int] = {}
+        for table in dmo.tables.values():
+            for obj in table.objects():
+                tenant = dmo.tenant_of(obj.actor)
+                if tenant:
+                    live[tenant] = live.get(tenant, 0) + obj.size
+        ledger = dmo._tenant_used
+        for tenant in sorted(set(live) | set(ledger)):
+            used = ledger.get(tenant, 0)
+            actual = live.get(tenant, 0)
+            if used != actual:
+                yield (f"tenant {tenant!r} on {server}: usage ledger "
+                       f"claims {used}B but live objects total {actual}B")
+            budget = dmo._tenant_budget.get(tenant)
+            if budget is not None and used > budget:
+                yield (f"tenant {tenant!r} on {server}: {used}B live "
+                       f"exceeds the {budget}B budget")

@@ -42,6 +42,7 @@ from .monitors import (
     RingMonitor,
     SchedulerMonitor,
     SteeringMonitor,
+    TenantMonitor,
     Violation,
 )
 
@@ -71,6 +72,7 @@ class CheckPlane:
         self._steering: Optional[SteeringMonitor] = None
         self._pulse: Optional[PulseMonitor] = None
         self._plan: Optional[PlanMonitor] = None
+        self._tenancy: Optional[TenantMonitor] = None
         sim.checker = self
 
     def uninstall(self) -> None:
@@ -147,6 +149,15 @@ class CheckPlane:
             self.add_monitor(self._plan)
         self._plan.watch(server, runtime, placements)
         return self._plan
+
+    def watch_tenancy(self, server: str, runtime) -> TenantMonitor:
+        """Watch one runtime's tenant ledgers (one monitor per plane;
+        repeat calls register more runtimes on it)."""
+        if self._tenancy is None:
+            self._tenancy = TenantMonitor()
+            self.add_monitor(self._tenancy)
+        self._tenancy.watch(server, runtime)
+        return self._tenancy
 
     def watch_pulse(self, pulse) -> PulseMonitor:
         """Watch a PulsePlane for passivity/lattice/accounting violations

@@ -234,6 +234,24 @@ def _plan_study(quick: bool = False, jobs: int = 1) -> None:
                          "recovery criterion")
 
 
+def _tenant_study(quick: bool = False, jobs: int = 1) -> None:
+    from .experiments.tenant_study import run_tenant_study
+    kwargs = ({"duration_us": 20_000.0, "n_requests": 30,
+               "aggressor_stop_us": 18_000.0} if quick else {})
+    record = run_tenant_study(**kwargs)
+    print("TenantPlane: noisy neighbor vs hierarchical DRR shares "
+          "(docs/TENANCY.md)")
+    print(f"  victim p99 solo      {record['victim_p99_solo_us']:8.1f}µs")
+    print(f"  victim p99 flat      {record['victim_p99_flat_us']:8.1f}µs "
+          f"({record['degradation_x']:.2f}x)")
+    print(f"  victim p99 isolated  {record['victim_p99_isolated_us']:8.1f}µs "
+          f"({record['isolated_x']:.2f}x)")
+    bad = [k for k, good in record["invariants"].items() if not good]
+    if bad:
+        raise SystemExit(f"tenant-study: violated {', '.join(bad)}")
+    print("  all isolation invariants hold")
+
+
 def _cmd_trace(argv) -> int:
     """``repro trace``: run a traced workload, export Chrome trace JSON."""
     from .experiments.chaos_study import RUNNERS
@@ -464,7 +482,7 @@ def _scenario_names() -> tuple:
 #: chaos scenarios (full fault-injection + recovery paths), and every
 #: shipped scenario spec (as ``scenario-<name>``).
 CHECK_TARGETS = ("fig5", "fig16", "chaos-rkv", "chaos-dt", "chaos-rta",
-                 "steering-chaos", "slo-study"
+                 "steering-chaos", "slo-study", "tenant-study"
                  ) + tuple(f"scenario-{name}" for name in _scenario_names()) \
                    + tuple(f"plan-{name}" for name in _scenario_names())
 
@@ -507,6 +525,16 @@ def _check_run_fn(target: str, quick: bool, seed: int | None):
             kwargs.update(duration_us=25_000.0, n_requests=55,
                           aggressor_stop_us=20_000.0)
         return lambda: slo_point(**kwargs)
+    if target == "tenant-study":
+        from .experiments.tenant_study import tenant_point
+        kwargs = {"seed": 42 if seed is None else seed}
+        if quick:
+            # shrunk three-leg run; still long enough for the flood to
+            # degrade the flat leg >= 2x and for the shares to hold the
+            # isolated leg within 25% of solo
+            kwargs.update(duration_us=20_000.0, n_requests=30,
+                          aggressor_stop_us=18_000.0)
+        return lambda: tenant_point(**kwargs)
     if target.startswith("scenario-"):
         import dataclasses
         from .scenario import load_shipped, run_scenario
@@ -624,7 +652,8 @@ def _cmd_scenario(argv) -> int:
             apps = ",".join(a.kind for a in spec.apps) or "none"
             print(f"{name}: {len(spec.racks)} rack(s), {servers} server(s), "
                   f"apps [{apps}], {len(spec.fleets)} fleet(s), "
-                  f"{len(spec.faults)} fault(s)")
+                  f"{len(spec.tenants)} tenant(s), {len(spec.faults)} "
+                  f"fault(s)")
             if spec.description:
                 print(f"  {spec.description}")
         return 0
@@ -844,6 +873,7 @@ EXPERIMENTS: Dict[str, Callable[..., None]] = {
     "sec5.6": _sec56,
     "sec5.7": _sec57,
     "plan-study": _plan_study,
+    "tenant-study": _tenant_study,
 }
 
 

@@ -79,7 +79,8 @@ class Actor:
                  pinned: bool = False,
                  concurrent: bool = False,
                  state_bytes: int = 1 << 20,
-                 port: int = 0):
+                 port: int = 0,
+                 tenant: str = ""):
         self.name = name
         self.actor_id = next(_actor_ids)
         self.exec_handler = exec_handler
@@ -94,6 +95,9 @@ class Actor:
         self.concurrent = concurrent
         self.state_bytes = state_bytes
         self.port = port
+        #: Owning tenant ("" = the implicit single tenant; see
+        #: docs/TENANCY.md).  Set from AppSpec.tenant at registration.
+        self.tenant = tenant
 
         #: Private state namespace; DMO handles and plain Python values.
         self.state: Dict[str, Any] = {}

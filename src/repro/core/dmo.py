@@ -90,14 +90,60 @@ class DmoManager:
         self._regions: Dict[str, Any] = {}
         self.denied_accesses = 0
         self.translations = 0
+        #: TenantPlane (docs/TENANCY.md): owning tenant per region, byte
+        #: budgets and live allocation per tenant, and a counter of
+        #: denials that crossed a tenant boundary (a strict subset of
+        #: ``denied_accesses``; the TenantMonitor requires it to be 0).
+        self._tenant_of: Dict[str, str] = {}
+        self._tenant_budget: Dict[str, int] = {}
+        self._tenant_used: Dict[str, int] = {}
+        self.cross_tenant_denials = 0
+        #: (actor, its tenant, owner, owner's tenant) of the most recent
+        #: cross-tenant denial, so the TenantMonitor can name offenders.
+        self.last_cross_tenant: Optional[tuple] = None
 
     @property
     def regions(self) -> Dict[str, Any]:
         """Per-actor memory regions (read-only view for the DMO monitor)."""
         return self._regions
 
+    # -- tenancy -----------------------------------------------------------
+    def tenant_of(self, actor: str) -> str:
+        """Owning tenant of an actor's region ("" = implicit tenant)."""
+        return self._tenant_of.get(actor, "")
+
+    def set_tenant_budget(self, tenant: str, nbytes: int) -> None:
+        """Cap a tenant's total live DMO bytes across all its regions."""
+        self._tenant_budget[tenant] = nbytes
+
+    def set_tenant(self, actor: str, tenant: str) -> None:
+        """(Re-)tag an actor's region with its owning tenant.
+
+        The scenario builder assigns tenants *after* app construction
+        (init handlers may already have allocated objects), so any live
+        bytes move between the usage ledgers with the tag.
+        """
+        old = self._tenant_of.get(actor, "")
+        if old == tenant:
+            return
+        owned = sum(obj.size for table in self.tables.values()
+                    for obj in table.owned_by(actor))
+        if old and owned:
+            self._tenant_used[old] = self._tenant_used.get(old, 0) - owned
+        if tenant:
+            self._tenant_of[actor] = tenant
+            if owned:
+                self._tenant_used[tenant] = \
+                    self._tenant_used.get(tenant, 0) + owned
+        else:
+            self._tenant_of.pop(actor, None)
+
+    def tenant_bytes_used(self, tenant: str) -> int:
+        return self._tenant_used.get(tenant, 0)
+
     # -- actor region lifecycle (§3.3 "large equal-sized chunks") ----------
-    def create_region(self, actor: str, nbytes: Optional[int] = None) -> None:
+    def create_region(self, actor: str, nbytes: Optional[int] = None,
+                      tenant: str = "") -> None:
         nbytes = nbytes or self._region_bytes
         if self._nic_dram is not None:
             region = self._nic_dram.create_region(actor, nbytes)
@@ -105,14 +151,20 @@ class DmoManager:
             from ..nic.memory import MemoryRegion
             region = MemoryRegion(actor, nbytes)
         self._regions[actor] = region
+        if tenant:
+            self._tenant_of[actor] = tenant
 
     def destroy_region(self, actor: str) -> None:
         self._regions.pop(actor, None)
         if self._nic_dram is not None:
             self._nic_dram.destroy_region(actor)
+        tenant = self._tenant_of.pop(actor, "")
         for table in self.tables.values():
             for obj in list(table.owned_by(actor)):
                 table.remove(obj.object_id)
+                if tenant:
+                    self._tenant_used[tenant] = \
+                        self._tenant_used.get(tenant, 0) - obj.size
 
     # -- Table 4 DMO API -------------------------------------------------------
     def malloc(self, actor: str, size: int, data: Any = None,
@@ -121,6 +173,13 @@ class DmoManager:
         region = self._regions.get(actor)
         if region is None:
             raise DmoError(f"actor {actor!r} has no registered memory region")
+        tenant = self._tenant_of.get(actor, "")
+        budget = self._tenant_budget.get(tenant) if tenant else None
+        if budget is not None \
+                and self._tenant_used.get(tenant, 0) + size > budget:
+            raise DmoError(
+                f"tenant {tenant!r} DMO budget exhausted "
+                f"({self._tenant_used.get(tenant, 0)}+{size}/{budget}B)")
         addr = region.allocate(size)
         if addr is None:
             raise DmoError(
@@ -128,6 +187,9 @@ class DmoManager:
         obj = Dmo(object_id=next(_object_ids), actor=actor, size=size,
                   start_addr=addr, location=location, data=data)
         self.tables[location].insert(obj)
+        if tenant:
+            self._tenant_used[tenant] = \
+                self._tenant_used.get(tenant, 0) + size
         return obj
 
     def free(self, actor: str, object_id: int) -> None:
@@ -137,6 +199,10 @@ class DmoManager:
         region = self._regions.get(actor)
         if region is not None:
             region.free(obj.size)
+        tenant = self._tenant_of.get(actor, "")
+        if tenant:
+            self._tenant_used[tenant] = \
+                self._tenant_used.get(tenant, 0) - obj.size
 
     def read(self, actor: str, object_id: int) -> Any:
         """Access an object's data (with ownership check + translation)."""
@@ -196,6 +262,20 @@ class DmoManager:
             if obj is not None:
                 if obj.actor != actor:
                     self.denied_accesses += 1
+                    mine = self._tenant_of.get(actor, "")
+                    theirs = self._tenant_of.get(obj.actor, "")
+                    if mine != theirs:
+                        # the §3.4 trap doubles as the tenant boundary:
+                        # the access never proceeds, and the monitor
+                        # flags the attempt itself as a violation
+                        self.cross_tenant_denials += 1
+                        self.last_cross_tenant = (actor, mine,
+                                                  obj.actor, theirs)
+                        raise DmoError(
+                            f"actor {actor!r} (tenant {mine or 'implicit'!r})"
+                            f" denied cross-tenant access to object "
+                            f"{object_id} owned by {obj.actor!r} "
+                            f"(tenant {theirs or 'implicit'!r})")
                     raise DmoError(
                         f"actor {actor!r} denied access to object {object_id} "
                         f"owned by {obj.actor!r}")

@@ -39,6 +39,10 @@ class IsolationPolicy:
     #: Execution budget per handler invocation, µs.  The LiquidIO hardware
     #: timer has 16 rings, one dedicated per core.
     timeout_us: float = 1000.0
+    #: Per-tenant overrides of ``timeout_us`` (docs/TENANCY.md): the
+    #: watchdog reads the armed actor's tenant.  Empty = every tenant
+    #: gets the flat budget (bit-identical to the untenanted policy).
+    tenant_timeout_us: Dict[str, float] = field(default_factory=dict)
     kills: List[str] = field(default_factory=list)
 
     def __post_init__(self) -> None:
@@ -46,6 +50,10 @@ class IsolationPolicy:
             raise ValueError(f"unknown isolation mode: {self.mode}")
         if self.timeout_us <= 0:
             raise ValueError("timeout must be positive")
+        for tenant, timeout in self.tenant_timeout_us.items():
+            if timeout <= 0:
+                raise ValueError(
+                    f"tenant {tenant!r} timeout must be positive")
 
     @property
     def protection_mechanism(self) -> str:
@@ -80,8 +88,12 @@ class Watchdog:
         self._actor = None
 
     def expired(self, now: float) -> bool:
-        return (self._armed_at is not None
-                and now - self._armed_at > self.policy.timeout_us)
+        if self._armed_at is None:
+            return False
+        tenant = getattr(self._actor, "tenant", "")
+        timeout = self.policy.tenant_timeout_us.get(
+            tenant, self.policy.timeout_us)
+        return now - self._armed_at > timeout
 
     def kill(self, table) -> Optional[Actor]:
         """Deregister the offending actor: dispatch-table removal + state
@@ -98,25 +110,73 @@ class Watchdog:
 class QuotaEnforcer:
     """Per-actor share accounting against core-hogging (fairness facet of
     the DoS guarantee): tracks busy µs consumed per actor and flags actors
-    exceeding a configurable share of recent NIC compute."""
+    exceeding a configurable share of recent NIC compute.
 
-    def __init__(self, window_us: float = 100_000.0, max_share: float = 0.9):
+    Each actor gets its own tumbling accounting window anchored at its
+    first charge; an entry whose last charge is older than ``window_us``
+    is evicted on the next :meth:`charge` (the map stays bounded by the
+    set of actors active in the last window, however long the run).
+
+    ``tenant_shares`` adds per-tenant budgets on top (docs/TENANCY.md):
+    charges carrying a ``tenant`` also accumulate per tenant, and
+    :meth:`tenant_over_quota` flags a tenant whose busy time exceeds its
+    configured share of recent NIC compute.
+    """
+
+    def __init__(self, window_us: float = 100_000.0, max_share: float = 0.9,
+                 tenant_shares: Optional[Dict[str, float]] = None):
         self.window_us = window_us
         self.max_share = max_share
-        self._busy: Dict[str, float] = {}
-        self._window_start = 0.0
+        self.tenant_shares: Dict[str, float] = dict(tenant_shares or {})
+        #: name -> [window anchor, last charge time, busy µs]
+        self._entries: Dict[str, List[float]] = {}
+        self._tenant_entries: Dict[str, List[float]] = {}
 
-    def charge(self, actor: str, busy_us: float, now: float) -> None:
-        if now - self._window_start > self.window_us:
-            self._busy.clear()
-            self._window_start = now
-        self._busy[actor] = self._busy.get(actor, 0.0) + busy_us
+    def _charge_into(self, entries: Dict[str, List[float]], name: str,
+                     busy_us: float, now: float) -> None:
+        stale = [n for n, e in entries.items()
+                 if now - e[1] > self.window_us]
+        for n in stale:
+            del entries[n]
+        entry = entries.get(name)
+        if entry is None or now - entry[0] > self.window_us:
+            # fresh (or rolled-over) window: the busy time necessarily
+            # accrued over at least busy_us of wall time before now
+            entries[name] = [max(now - busy_us, 0.0), now, busy_us]
+            return
+        entry[1] = now
+        entry[2] += busy_us
+
+    def charge(self, actor: str, busy_us: float, now: float,
+               tenant: str = "") -> None:
+        self._charge_into(self._entries, actor, busy_us, now)
+        if tenant:
+            self._charge_into(self._tenant_entries, tenant, busy_us, now)
+
+    def _share_of(self, entries: Dict[str, List[float]], name: str,
+                  now: float, total_cores: int) -> float:
+        entry = entries.get(name)
+        if entry is None or now - entry[1] > self.window_us:
+            return 0.0
+        elapsed = max(now - entry[0], 1.0)
+        return entry[2] / (elapsed * total_cores)
 
     def over_quota(self, actor: str, now: float, total_cores: int) -> bool:
-        elapsed = max(now - self._window_start, 1.0)
-        capacity = elapsed * total_cores
-        return self._busy.get(actor, 0.0) > self.max_share * capacity
+        return self._share_of(self._entries, actor, now,
+                              total_cores) > self.max_share
 
     def share(self, actor: str, now: float, total_cores: int) -> float:
-        elapsed = max(now - self._window_start, 1.0)
-        return self._busy.get(actor, 0.0) / (elapsed * total_cores)
+        return self._share_of(self._entries, actor, now, total_cores)
+
+    def tenant_share(self, tenant: str, now: float,
+                     total_cores: int) -> float:
+        return self._share_of(self._tenant_entries, tenant, now, total_cores)
+
+    def tenant_over_quota(self, tenant: str, now: float,
+                          total_cores: int) -> bool:
+        cap = self.tenant_shares.get(tenant, self.max_share)
+        return self.tenant_share(tenant, now, total_cores) > cap
+
+    def tracked_actors(self) -> int:
+        """Live charge-map entries (regression hook for the eviction)."""
+        return len(self._entries)

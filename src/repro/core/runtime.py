@@ -100,8 +100,12 @@ class ExecutionContext:
                 loc=self.side.value)
         try:
             if self.on_nic:
+                yield from self.runtime.admit_accelerator(self.actor)
+                start = self.sim.now
                 yield from self.runtime.nic.accelerators.invoke(
                     name, nbytes=nbytes, batch=batch)
+                self.runtime.charge_accelerator(self.actor,
+                                                self.sim.now - start)
             else:
                 prof = self.runtime.nic.accelerators.profile(name)
                 host_us = prof.host_software_us
@@ -202,6 +206,13 @@ class IPipeRuntime:
         self.config = config or SchedulerConfig()
         self.actors = ActorTable()
         self.dmo = DmoManager(nic.dram)
+        #: TenantPlane config (docs/TENANCY.md), set by
+        #: :meth:`set_tenancy`.  Empty dicts = implicit single tenant:
+        #: no admission path ever waits and the event schedule is
+        #: bit-identical to the untenanted runtime.
+        self.tenant_accel_shares: Dict[str, float] = {}
+        #: Cumulative NIC-accelerator busy time per tenant (µs).
+        self.tenant_accel_us: Dict[str, float] = {}
         self.storage: StorageService = host.storage
         self.host_stack = host_stack or ipipe_host_stack()
 
@@ -295,6 +306,53 @@ class IPipeRuntime:
         if checker is not None and hasattr(checker, "wire_runtime"):
             checker.wire_runtime(self)
 
+    # -- multi-tenancy (docs/TENANCY.md) --------------------------------------
+    def set_tenancy(self, nic_shares: Optional[Dict[str, float]] = None,
+                    accel_shares: Optional[Dict[str, float]] = None,
+                    dmo_budgets: Optional[Dict[str, int]] = None) -> None:
+        """Activate per-tenant budgets on this server's NIC resources.
+
+        ``nic_shares`` turns on hierarchical DRR in the scheduler,
+        ``accel_shares`` rate-limits each tenant's accelerator busy time
+        to a fraction of elapsed virtual time, ``dmo_budgets`` caps a
+        tenant's total DMO region bytes.  All three default to off.
+        """
+        if nic_shares:
+            self.nic_scheduler.set_tenant_shares(nic_shares)
+        if accel_shares:
+            self.tenant_accel_shares = {
+                t: s for t, s in accel_shares.items() if s > 0.0}
+        if dmo_budgets:
+            for tenant, budget in dmo_budgets.items():
+                if budget > 0:
+                    self.dmo.set_tenant_budget(tenant, budget)
+
+    def admit_accelerator(self, actor: Actor):
+        """Per-tenant accelerator admission (generator; may wait).
+
+        A tenant with a configured ``accelerator_share`` may keep the
+        NIC engines busy for at most ``share`` of elapsed virtual time;
+        past the budget the invocation is delayed until the long-run
+        average drops back under the cap.  Tenants without a share (and
+        every actor when no shares are configured) are admitted
+        immediately with zero added events.
+        """
+        share = self.tenant_accel_shares.get(getattr(actor, "tenant", ""))
+        if not share:
+            return
+        tenant = actor.tenant
+        while True:
+            elapsed = max(self.sim.now, 1.0)
+            used = self.tenant_accel_us.get(tenant, 0.0)
+            if used <= share * elapsed:
+                return
+            yield Timeout(used / share - elapsed)
+
+    def charge_accelerator(self, actor: Actor, busy_us: float) -> None:
+        tenant = getattr(actor, "tenant", "")
+        self.tenant_accel_us[tenant] = \
+            self.tenant_accel_us.get(tenant, 0.0) + busy_us
+
     # -- actor lifecycle -----------------------------------------------------------
     def register_actor(self, actor: Actor,
                        steering_keys: Optional[List[str]] = None,
@@ -309,7 +367,8 @@ class IPipeRuntime:
         }
         self.actors.register(actor)
         self.dmo.create_region(actor.name,
-                               region_bytes or max(actor.state_bytes * 2, 1 << 20))
+                               region_bytes or max(actor.state_bytes * 2, 1 << 20),
+                               tenant=getattr(actor, "tenant", ""))
         for key in steering_keys or [actor.name]:
             self.dispatch_table[key] = actor.name
         self.update_steering(actor)

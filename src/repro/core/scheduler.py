@@ -145,6 +145,22 @@ class NicScheduler:
         self.quantum_granted_us = 0.0
         self.deficit_spent_us = 0.0
         self.deficit_forfeited_us = 0.0
+        #: Hierarchical DRR (docs/TENANCY.md): tenant -> NIC-core share.
+        #: Empty means the implicit single tenant — every quantum path
+        #: multiplies by exactly 1.0 and the event schedule is identical
+        #: to the untenanted scheduler.
+        self.tenant_shares: Dict[str, float] = {}
+        #: Per-tenant split of the conservation ledger (keyed by
+        #: ``actor.tenant``; the implicit tenant books under "").  The
+        #: TenantMonitor proves granted == spent + forfeited +
+        #: outstanding per tenant, and that the per-tenant dicts sum to
+        #: the global ledger.
+        self.tenant_granted_us: Dict[str, float] = {}
+        self.tenant_spent_us: Dict[str, float] = {}
+        self.tenant_forfeited_us: Dict[str, float] = {}
+        #: Per-tenant handler busy time (feeds per-tenant utilization
+        #: pulse series and the per-tenant QuotaEnforcer budgets).
+        self.tenant_busy_us: Dict[str, float] = {}
         #: Queueing-delay tracker of operations handled by the FCFS group.
         #: The thresholds are forwarding-latency budgets (§3.2.3 derives
         #: them from line-rate MTU forwarding), so the compared statistic
@@ -185,7 +201,47 @@ class NicScheduler:
         """
         if actor.deficit:
             self.deficit_forfeited_us += actor.deficit
+            tenant = getattr(actor, "tenant", "")
+            self.tenant_forfeited_us[tenant] = \
+                self.tenant_forfeited_us.get(tenant, 0.0) + actor.deficit
             actor.deficit = 0.0
+
+    def set_tenant_shares(self, shares: Dict[str, float]) -> None:
+        """Turn on hierarchical DRR: tenant -> NIC-core share.
+
+        A tenant's runnable actors collectively receive a
+        share-proportional fraction of each DRR scan's quantum pool
+        (the pool is split evenly across the tenant's runnable actors),
+        so one tenant flooding the NIC with actors cannot starve
+        another's quantum stream.  Tenants absent from ``shares`` (and
+        the implicit "" tenant) keep the flat per-actor quantum.
+        """
+        self.tenant_shares = dict(shares)
+
+    def _tenant_quantum_scale(self, actor: Actor) -> float:
+        """Share-scaled pool factor for one actor's quantum grant.
+
+        ``share * total_runnable / tenant_runnable``: the tenant's
+        aggregate grant per scan is ``share`` of the flat pool however
+        many actors it runs.  Exactly 1.0 when no shares are configured.
+        """
+        if not self.tenant_shares:
+            return 1.0
+        share = self.tenant_shares.get(getattr(actor, "tenant", ""))
+        if share is None or share <= 0.0:
+            return 1.0
+        tenant = actor.tenant
+        members = 0
+        total = 0
+        for a in self.drr_runnable:
+            if not a.schedulable:
+                continue
+            total += 1
+            if getattr(a, "tenant", "") == tenant:
+                members += 1
+        if members == 0 or total == 0:
+            return 1.0
+        return share * total / members
 
     def fcfs_cores(self) -> int:
         return sum(1 for m in self.core_mode if m == "fcfs")
@@ -369,8 +425,13 @@ class NicScheduler:
                 self.forfeit_deficit(actor)
                 continue
             quantum = self.quantum_fn(actor)
+            if self.tenant_shares:
+                quantum *= self._tenant_quantum_scale(actor)
             actor.deficit += quantum
             self.quantum_granted_us += quantum
+            tenant = getattr(actor, "tenant", "")
+            self.tenant_granted_us[tenant] = \
+                self.tenant_granted_us.get(tenant, 0.0) + quantum
             # ALG 2 compares the deficit against the actor's *execution*
             # latency estimate (pure service time — using the response time
             # here would let backlog inflate the bar and starve the actor).
@@ -389,6 +450,8 @@ class NicScheduler:
                     charge = max(self.sim.now - exec_start, est)
                     actor.deficit -= charge
                     self.deficit_spent_us += charge
+                    self.tenant_spent_us[tenant] = \
+                        self.tenant_spent_us.get(tenant, 0.0) + charge
                 finally:
                     actor.unlock(core_id)
                 did_work = True
@@ -464,6 +527,9 @@ class NicScheduler:
         response = self.sim.now - (arrived_at or start)
         wait = max(start - (arrived_at or start), 0.0)
         self._account(core_id, group, busy)
+        tenant = getattr(actor, "tenant", "")
+        self.tenant_busy_us[tenant] = \
+            self.tenant_busy_us.get(tenant, 0.0) + busy
         actor.record_execution(response, msg.size, service_us=busy)
         # The group trackers feed the adaptation logic, so they must stay
         # fresh even when every actor lives in DRR: attribute the sample by

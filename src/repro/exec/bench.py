@@ -475,6 +475,20 @@ def _guarded(fn: Callable[[], Dict[str, Any]]) -> Dict[str, Any]:
         return {"error": f"{type(exc).__name__}: {exc}"}
 
 
+def _tenancy_available() -> bool:
+    """True when this build carries the TenantPlane (the multi-tenant
+    spec grammar + hierarchical DRR).  Stamped into ``meta`` so a bench
+    file records which capability generation produced it; baselines
+    written before the TenantPlane simply lack the key, and
+    ``check_regression`` skips the whole ``meta`` section, so the flag
+    can never gate."""
+    try:
+        from ..scenario import TenantSpec  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
 def run_bench(pool: int = 4, quick: bool = True,
               figures: bool = False) -> Dict[str, Any]:
     bench: Dict[str, Any] = {
@@ -485,6 +499,7 @@ def run_bench(pool: int = 4, quick: bool = True,
             "runner_cores": os.cpu_count() or 1,
             "code_fingerprint": code_fingerprint()[:16],
             "quick": quick,
+            "tenancy": _tenancy_available(),
         },
         "kernel": _guarded(kernel_bench),
         "sweep": _guarded(lambda: sweep_bench(pool=pool, quick=quick)),

@@ -216,6 +216,52 @@ def service_quantile_probe(metrics: MetricsRegistry, metric: str,
     return probe
 
 
+def tenant_utilization_probe(schedulers,
+                             tenant: str) -> Callable[[float], float]:
+    """One tenant's NIC compute rate over the elapsed sample period.
+
+    Differences the cumulative ``tenant_busy_us`` ledger summed across
+    the tenant's schedulers; the value is busy µs per elapsed µs, i.e.
+    cores-worth of compute (can exceed 1.0 on a multi-core NIC)."""
+    scheds = list(schedulers)
+    state = [0.0, 0.0]          # previous busy total, previous boundary
+
+    def probe(t: float) -> float:
+        busy = sum(s.tenant_busy_us.get(tenant, 0.0) for s in scheds)
+        span = t - state[1]
+        rate = (busy - state[0]) / span if span > 0 else 0.0
+        state[0], state[1] = busy, t
+        return max(rate, 0.0)
+    return probe
+
+
+def tenant_steering_probe(controller,
+                          services) -> Callable[[float], float]:
+    """Per-second steering decision rate over one tenant's services.
+
+    Scans the controller's decision ledger incrementally (the
+    SteeringMonitor idiom) counting decisions whose service belongs to
+    the tenant; read-only, never rescans history."""
+    owned = frozenset(services)
+    state = [0, 0.0, 0.0]       # ledger index, matched count, boundary
+
+    def probe(t: float) -> float:
+        decisions = controller.decisions
+        idx = state[0]
+        matched = 0
+        while idx < len(decisions):
+            if decisions[idx][1] in owned:
+                matched += 1
+            idx += 1
+        state[0] = idx
+        span = t - state[2]
+        rate = matched / span * 1e6 if span > 0 else 0.0
+        state[1] += matched
+        state[2] = t
+        return rate
+    return probe
+
+
 # -- the plane ----------------------------------------------------------------
 
 class PulsePlane:
@@ -305,6 +351,30 @@ class PulsePlane:
                                        windows=2)
         self.add_probe(f"svc.{service}.p{pct:g}",
                        service_quantile_probe(self.sim.metrics, metric, pct))
+
+    def watch_tenant(self, tenant: str, schedulers=(), services=(),
+                     controller=None, pct: float = 99.0,
+                     window_us: Optional[float] = None) -> None:
+        """Per-tenant gauges (docs/TENANCY.md): ``tenant.util.<t>`` from
+        the schedulers' busy ledgers, ``tenant.steer.<t>`` over the
+        tenant's services, and ``tenant.svc.<t>.<svc>.p<pct>`` — the
+        same quantile :meth:`watch_service` exposes, re-registered under
+        the tenant namespace so per-tenant SLOs and fleet SLOs never
+        share a series."""
+        if schedulers:
+            self.add_probe(f"tenant.util.{tenant}",
+                           tenant_utilization_probe(schedulers, tenant))
+        if controller is not None and services:
+            self.add_probe(f"tenant.steer.{tenant}",
+                           tenant_steering_probe(controller, services))
+        for service in services:
+            metric = f"svc.{service}.latency_us"
+            if window_us is not None:
+                self.sim.metrics.histogram(metric, window_us=window_us,
+                                           windows=2)
+            self.add_probe(
+                f"tenant.svc.{tenant}.{service}.p{pct:g}",
+                service_quantile_probe(self.sim.metrics, metric, pct))
 
     # -- engine hook ------------------------------------------------------
     def after_step(self, now: float) -> None:

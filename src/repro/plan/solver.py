@@ -108,6 +108,11 @@ class _Context:
     rack_of: Dict[str, str] = field(default_factory=dict)
     #: app kind -> racks its fleet traffic originates from
     client_racks: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+    #: multi-tenant capacity (docs/TENANCY.md): app kind -> owning
+    #: tenant, and tenant -> NIC-core share (only shares > 0; empty for
+    #: untenanted specs, where every tenant loop below is a no-op)
+    tenant_of_app: Dict[str, str] = field(default_factory=dict)
+    tenant_nic_share: Dict[str, float] = field(default_factory=dict)
 
 
 def _device_times(row: ActorProfile, nic_spec, host_spec
@@ -170,6 +175,13 @@ def _build_context(profile: PlanProfile, spec: ScenarioSpec) -> _Context:
             racks.add(ctx.rack_of.get(fleet.client, ""))
             ctx.client_racks[kind] = tuple(sorted(racks))
 
+    for tenant in spec.tenants:
+        if tenant.nic_core_share > 0.0:
+            ctx.tenant_nic_share[tenant.name] = tenant.nic_core_share
+    for app in spec.apps:
+        if app.tenant:
+            ctx.tenant_of_app[app.kind] = app.tenant
+
     claimed: Dict[Tuple[str, str], _Role] = {}
     names = spec.server_names()
     for app in spec.apps:
@@ -210,26 +222,39 @@ def _predict(ctx: _Context, state: _State) -> float:
     """Utilization-aware p99 estimate of one placement (µs)."""
     nic_busy: Dict[str, float] = {}
     host_busy: Dict[str, float] = {}
-    #: (assigned server, device, rate, device_us)
-    placed: List[Tuple[str, str, float, float]] = []
+    #: (assigned server, device, rate, device_us, tenant)
+    placed: List[Tuple[str, str, float, float, str]] = []
 
     for row in ctx.static_rows:
         key = (row.server, row.actor)
         us = ctx.nic_us[key] if row.device == "nic" else ctx.host_us[key]
-        placed.append((row.server, row.device, row.rate_per_us, us))
+        placed.append((row.server, row.device, row.rate_per_us, us, ""))
     for role in ctx.roles:
         server = state.server_of[role]
+        tenant = ctx.tenant_of_app.get(role.app, "")
         for row in ctx.role_rows[role]:
             device = state.device_of[(role, row.actor)]
             key = (row.server, row.actor)    # times keyed by measurement
             us = ctx.nic_us[key] if device == "nic" else ctx.host_us[key]
-            placed.append((server, device, row.rate_per_us, us))
+            placed.append((server, device, row.rate_per_us, us, tenant))
 
-    for server, device, rate, us in placed:
+    tenant_nic_busy: Dict[Tuple[str, str], float] = {}
+    for server, device, rate, us, tenant in placed:
         busy = nic_busy if device == "nic" else host_busy
         busy[server] = busy.get(server, 0.0) + rate * us
+        if device == "nic" and tenant in ctx.tenant_nic_share:
+            key = (server, tenant)
+            tenant_nic_busy[key] = tenant_nic_busy.get(key, 0.0) + rate * us
 
     penalty = 0.0
+    # tenant capacity: a tenant's NIC busy time on one server may use at
+    # most its share of that NIC's cores (same headroom as the global
+    # cap), so the plan never co-schedules past a declared share
+    for (server, tenant), busy in tenant_nic_busy.items():
+        slice_cores = ctx.tenant_nic_share[tenant] * ctx.nic_cores[server]
+        tu = busy / max(slice_cores, 1e-9)
+        if tu > NIC_UTIL_CAP:
+            penalty += (tu - NIC_UTIL_CAP) * _INFEASIBLE_PENALTY
     nic_util: Dict[str, float] = {}
     host_util: Dict[str, float] = {}
     for server in ctx.nic_cores:
@@ -245,7 +270,7 @@ def _predict(ctx: _Context, state: _State) -> float:
     total_rate = 0.0
     weighted = 0.0
     host_cores = 0.0
-    for server, device, rate, us in placed:
+    for server, device, rate, us, _tenant in placed:
         util = nic_util[server] if device == "nic" else host_util[server]
         lat = us / (1.0 - min(util, _UTIL_CLAMP))
         if device == "host":
@@ -283,29 +308,42 @@ def _initial_state(ctx: _Context) -> _State:
 
 def _greedy_capacity_repair(ctx: _Context, state: _State) -> None:
     """Downgrade NIC residents (best host speedup first) until every
-    NIC is under its capacity cap."""
+    NIC — and every tenant's share-slice of every NIC — is under its
+    capacity cap."""
     for _ in range(len(state.device_of) + 1):
         nic_busy: Dict[str, float] = {}
+        tenant_busy: Dict[Tuple[str, str], float] = {}
         for role in ctx.roles:
             server = state.server_of[role]
+            tenant = ctx.tenant_of_app.get(role.app, "")
             for row in ctx.role_rows[role]:
                 if state.device_of[(role, row.actor)] == "nic":
-                    nic_busy[server] = nic_busy.get(server, 0.0) \
-                        + row.rate_per_us * ctx.nic_us[(row.server, row.actor)]
+                    load = row.rate_per_us \
+                        * ctx.nic_us[(row.server, row.actor)]
+                    nic_busy[server] = nic_busy.get(server, 0.0) + load
+                    if tenant in ctx.tenant_nic_share:
+                        key = (server, tenant)
+                        tenant_busy[key] = tenant_busy.get(key, 0.0) + load
         for row in ctx.static_rows:
             if row.device == "nic":
                 nic_busy[row.server] = nic_busy.get(row.server, 0.0) \
                     + row.rate_per_us * ctx.nic_us[(row.server, row.actor)]
-        over = sorted(s for s, busy in nic_busy.items()
+        over = sorted((s, "") for s, busy in nic_busy.items()
                       if busy / ctx.nic_cores[s] > NIC_UTIL_CAP)
+        over += sorted(
+            key for key, busy in tenant_busy.items()
+            if busy / max(ctx.tenant_nic_share[key[1]]
+                          * ctx.nic_cores[key[0]], 1e-9) > NIC_UTIL_CAP)
         if not over:
             return
         moved = False
-        for server in over:
+        for server, tenant in over:
             candidates = []
             for role in ctx.roles:
                 if state.server_of[role] != server:
                     continue
+                if tenant and ctx.tenant_of_app.get(role.app, "") != tenant:
+                    continue     # a tenant overrun only evicts its own
                 for row in ctx.role_rows[role]:
                     if row.pinned \
                             or state.device_of[(role, row.actor)] != "nic":

@@ -27,6 +27,7 @@ from .spec import (
     ServerSpec,
     SLOSpec,
     SteeringSpec,
+    TenantSpec,
     from_dict,
     from_file,
     from_json,
@@ -73,6 +74,7 @@ __all__ = [
     "ServerSpec",
     "SLOSpec",
     "SteeringSpec",
+    "TenantSpec",
     "build",
     "from_dict",
     "from_file",

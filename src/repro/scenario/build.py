@@ -34,6 +34,7 @@ from .spec import (
     FleetSpec,
     ScenarioError,
     ScenarioSpec,
+    SLOSpec,
     resolve_nic,
 )
 
@@ -344,6 +345,65 @@ def _build_app(scenario: Scenario, app: AppSpec) -> BuiltApp:
     return built
 
 
+def _actor_names(scenario: Scenario) -> Dict[str, set]:
+    """Snapshot of registered actor names per server (tenant diffing)."""
+    out: Dict[str, set] = {}
+    for name, server in scenario.servers.items():
+        table = getattr(server.runtime, "actors", None)
+        out[name] = {a.name for a in table} if table is not None else set()
+    return out
+
+
+def _assign_tenant(scenario: Scenario, tenant: str,
+                   before: Dict[str, set]) -> None:
+    """Stamp the actors one app build just registered with its tenant.
+
+    Registration ran before the app's tenant was known, so the DMO
+    region tag is applied retroactively (moving any init-time
+    allocations into the tenant's usage ledger)."""
+    for name, server in scenario.servers.items():
+        runtime = server.runtime
+        table = getattr(runtime, "actors", None)
+        if table is None:
+            continue
+        seen = before.get(name, set())
+        for actor in table:
+            if actor.name in seen:
+                continue
+            actor.tenant = tenant
+            dmo = getattr(runtime, "dmo", None)
+            if dmo is not None:
+                dmo.set_tenant(actor.name, tenant)
+
+
+def _apply_tenancy(scenario: Scenario) -> None:
+    """Push the spec's tenant budgets into every runtime and register
+    the TenantMonitor (docs/TENANCY.md).
+
+    Shares/budgets that are 0 stay unconfigured — a spec declaring
+    tenants purely for accounting adds no events and keeps the schedule
+    bit-identical to the untenanted build."""
+    spec = scenario.spec
+    nic_shares = {t.name: t.nic_core_share
+                  for t in spec.tenants if t.nic_core_share > 0.0}
+    accel_shares = {t.name: t.accelerator_share
+                    for t in spec.tenants if t.accelerator_share > 0.0}
+    budgets = {t.name: t.dmo_budget_bytes
+               for t in spec.tenants if t.dmo_budget_bytes > 0}
+    for name in sorted(scenario.servers):
+        runtime = scenario.servers[name].runtime
+        if hasattr(runtime, "set_tenancy"):
+            runtime.set_tenancy(nic_shares=nic_shares or None,
+                                accel_shares=accel_shares or None,
+                                dmo_budgets=budgets or None)
+    checker = getattr(scenario.sim, "checker", None)
+    if checker is not None and hasattr(checker, "watch_tenancy"):
+        for name in sorted(scenario.servers):
+            runtime = scenario.servers[name].runtime
+            if hasattr(runtime, "nic_scheduler"):
+                checker.watch_tenancy(name, runtime)
+
+
 def _apply_placement_pins(scenario: Scenario) -> None:
     """Apply a placement plan's build-time device pins
     (:attr:`AppSpec.placement`): move each named actor to its planned
@@ -493,7 +553,13 @@ def build(spec: ScenarioSpec, sim: Optional[Simulator] = None) -> Scenario:
                 recovery=scenario.recovery)
 
     for app in spec.apps:
+        before = _actor_names(scenario) if spec.tenants else {}
         scenario.apps.append(_build_app(scenario, app))
+        if spec.tenants and app.tenant:
+            _assign_tenant(scenario, app.tenant, before)
+
+    if spec.tenants:
+        _apply_tenancy(scenario)
 
     if any(app.placement for app in spec.apps):
         _apply_placement_pins(scenario)
@@ -637,8 +703,42 @@ def _build_pulse(scenario: Scenario) -> None:
             pct=slo.pct, window_us=slo.window_us,
             slow_windows=slo.slow_windows, budget=slo.budget,
             burn_threshold=slo.burn_threshold, period_us=ps.period_us))
+    if spec.tenants:
+        _build_tenant_pulse(scenario, pulse)
     if scenario.rebalancer is not None and scenario.rebalancer.policy.on_load:
         LoadFeed(pulse, scenario.rebalancer)
     checker = getattr(scenario.sim, "checker", None)
     if checker is not None and hasattr(checker, "watch_pulse"):
         checker.watch_pulse(pulse)
+
+
+def _build_tenant_pulse(scenario: Scenario, pulse) -> None:
+    """Per-tenant telemetry (docs/TENANCY.md): ``tenant.util.<t>`` off
+    the schedulers' busy ledgers, ``tenant.steer.<t>`` over the tenant's
+    SLO services, ``tenant.svc.<t>.*`` quantiles, and one tenant-named
+    SLO evaluator per :attr:`TenantSpec.slos` entry."""
+    from ..obs.slo import SloEvaluator
+    spec = scenario.spec
+    ps = spec.observability.pulse
+    schedulers = [scenario.servers[n].runtime.nic_scheduler
+                  for n in sorted(scenario.servers)
+                  if hasattr(scenario.servers[n].runtime, "nic_scheduler")]
+    watched = {(slo.service, slo.pct) for slo in spec.observability.slos}
+    for tenant in spec.tenants:
+        slos = [SLOSpec.from_text(raw) for raw in tenant.slos]
+        services = tuple(sorted({slo.service for slo in slos}))
+        pulse.watch_tenant(tenant.name, schedulers=schedulers,
+                           services=services,
+                           controller=scenario.steering)
+        for slo in slos:
+            if (slo.service, slo.pct) not in watched:
+                watched.add((slo.service, slo.pct))
+                pulse.watch_service(slo.service, pct=slo.pct,
+                                    window_us=slo.window_us)
+            pulse.add_evaluator(SloEvaluator(
+                scenario.sim, pulse.store,
+                name=f"{tenant.name}.{slo.slo_name()}",
+                metric=slo.metric(), threshold_us=slo.threshold_us,
+                pct=slo.pct, window_us=slo.window_us,
+                slow_windows=slo.slow_windows, budget=slo.budget,
+                burn_threshold=slo.burn_threshold, period_us=ps.period_us))

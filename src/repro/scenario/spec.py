@@ -118,6 +118,26 @@ class FabricSpec:
 
 
 @dataclass(frozen=True)
+class TenantSpec:
+    """One tenant: fair-share budgets for the NIC resources its apps use.
+
+    A spec with no ``tenants`` runs exactly as before — one implicit
+    tenant owns the whole NIC and no tenant machinery activates (the
+    event schedule is bit-identical to the pre-tenancy code).  Declaring
+    tenants turns on hierarchical DRR (per-tenant quantum pools scaled
+    by ``nic_core_share``, then per-actor deficit within the pool),
+    per-tenant accelerator admission, per-tenant DMO byte budgets, and
+    the TenantMonitor invariants (docs/TENANCY.md).
+    """
+
+    name: str
+    nic_core_share: float = 0.0        # fraction of the DRR quantum pool
+    accelerator_share: float = 0.0     # fraction of accelerator time
+    dmo_budget_bytes: int = 0          # total DMO region bytes (0 = unlimited)
+    slos: Tuple[str, ...] = ()         # compact SLO grammar strings
+
+
+@dataclass(frozen=True)
 class AppSpec:
     """Application placement over the fabric's servers.
 
@@ -127,6 +147,9 @@ class AppSpec:
     across racks — cross-rack replication by construction).  Each RKV
     replica group runs its own Paxos ring; ``dt`` takes the first server
     as coordinator; ``rta`` aggregates on the first server.
+
+    ``tenant`` names the owning :class:`TenantSpec`; every actor the app
+    registers inherits it.  Empty means the implicit single tenant.
     """
 
     kind: str                          # rkv | dt | rta | firewall | ipsec | none
@@ -137,6 +160,7 @@ class AppSpec:
     #: build-time device pins from a placement plan (:mod:`repro.plan`):
     #: ("server/actor", "nic" | "host") pairs applied before any traffic.
     placement: Tuple[Tuple[str, str], ...] = ()
+    tenant: str = ""                   # owning tenant ("" = implicit)
 
     def option(self, key: str, default=None):
         return dict(self.options).get(key, default)
@@ -177,6 +201,7 @@ class FleetSpec:
     #: same Rng draw order, bit-identical emission timestamps) instead
     #: of one re-arm event per packet.  0 disables batching.
     lattice_us: float = 0.0
+    tenant: str = ""                   # owning tenant ("" = implicit)
 
 
 @dataclass(frozen=True)
@@ -335,6 +360,7 @@ class ScenarioSpec:
     fabric: FabricSpec = FabricSpec()
     apps: Tuple[AppSpec, ...] = ()
     fleets: Tuple[FleetSpec, ...] = ()
+    tenants: Tuple[TenantSpec, ...] = ()
     faults: Tuple[FaultDecl, ...] = ()
     steering: Tuple[SteeringSpec, ...] = ()
     rebalance: Optional[RebalanceSpec] = None
@@ -367,6 +393,15 @@ class ScenarioSpec:
 
     def is_multi_rack(self) -> bool:
         return len(self.racks) > 1
+
+    def tenant_names(self) -> List[str]:
+        return [t.name for t in self.tenants]
+
+    def tenant_of(self, name: str) -> Optional[TenantSpec]:
+        for tenant in self.tenants:
+            if tenant.name == name:
+                return tenant
+        return None
 
     # -- validation -----------------------------------------------------------
     def validate(self) -> "ScenarioSpec":
@@ -567,6 +602,68 @@ class ScenarioSpec:
                 problems.append(
                     f"{label}: burn_threshold must be positive "
                     f"(got {slo.burn_threshold})")
+        tenant_names = [t.name for t in self.tenants]
+        tenant_set = set(tenant_names)
+        if len(tenant_set) != len(tenant_names):
+            problems.append(f"duplicate tenant names: {tenant_names}")
+        nic_total = 0.0
+        acc_total = 0.0
+        for tenant in self.tenants:
+            label = f"tenant {tenant.name or '?'}"
+            if not tenant.name:
+                problems.append("tenant: needs a name")
+            if not 0.0 <= tenant.nic_core_share <= 1.0:
+                # 0 means "declared but unshared": ledgers and monitors
+                # run, the scheduler serves the tenant flat
+                problems.append(
+                    f"{label}: nic_core_share must be in [0, 1] "
+                    f"(got {tenant.nic_core_share})")
+            else:
+                nic_total += tenant.nic_core_share
+            if not 0.0 <= tenant.accelerator_share <= 1.0:
+                problems.append(
+                    f"{label}: accelerator_share must be in [0, 1] "
+                    f"(got {tenant.accelerator_share})")
+            else:
+                acc_total += tenant.accelerator_share
+            if tenant.dmo_budget_bytes < 0:
+                problems.append(
+                    f"{label}: dmo_budget_bytes must be >= 0 "
+                    f"(got {tenant.dmo_budget_bytes})")
+            for text in tenant.slos:
+                try:
+                    slo = SLOSpec.from_text(text)
+                except ScenarioError as exc:
+                    problems.append(f"{label}: {exc.problems[0]}")
+                    continue
+                if (slo.service not in steering_names
+                        and slo.service not in app_kinds):
+                    problems.append(
+                        f"{label}: SLO service {slo.service!r} names no "
+                        f"declared steering service or app")
+            if tenant.slos and pulse is None:
+                problems.append(
+                    f"{label}: SLOs declared without pulse sampling "
+                    f"(set observability.pulse)")
+        if nic_total > 1.0 + 1e-9:
+            problems.append(
+                f"tenants: nic_core_share total {nic_total:g} exceeds 1")
+        if acc_total > 1.0 + 1e-9:
+            problems.append(
+                f"tenants: accelerator_share total {acc_total:g} exceeds 1")
+        for app in self.apps:
+            if app.tenant and app.tenant not in tenant_set:
+                problems.append(
+                    f"app {app.kind}: tenant {app.tenant!r} not declared")
+            elif self.tenants and not app.tenant:
+                problems.append(
+                    f"app {app.kind}: no tenant (spec declares "
+                    f"tenants {sorted(tenant_set)})")
+        for fleet in self.fleets:
+            if fleet.tenant and fleet.tenant not in tenant_set:
+                problems.append(
+                    f"fleet {fleet.client}: tenant {fleet.tenant!r} "
+                    f"not declared")
         rack_name_set = set(rack_names)
         for decl in self.faults:
             if decl.kind not in ALL_KINDS:
@@ -608,10 +705,15 @@ class ScenarioSpec:
             if self.observability.trace:
                 problems.append("execution: by-rack sharding does not "
                                 "support tracing yet")
-            if self.observability.pulse is not None \
-                    or self.observability.slos:
+            if self.observability.pulse is not None:
                 problems.append("execution: by-rack sharding does not "
-                                "support pulse sampling / SLOs yet")
+                                "support pulse sampling yet")
+            if self.observability.slos:
+                problems.append("execution: by-rack sharding does not "
+                                "support SLO evaluation yet")
+            if any(t.slos for t in self.tenants):
+                problems.append("execution: by-rack sharding does not "
+                                "support per-tenant SLO evaluation yet")
             if ex.fault_streams == "shared":
                 problems.append(
                     "execution: by-rack sharding needs per-component "
@@ -697,6 +799,9 @@ def from_dict(data: Dict[str, Any]) -> ScenarioSpec:
                                  "placement": _pairs(a.get("placement", ()))})
                  for a in data.get("apps", []))
     fleets = tuple(build(FleetSpec, f) for f in data.get("fleets", []))
+    tenants = tuple(
+        build(TenantSpec, {**t, "slos": tuple(t.get("slos", ()))})
+        for t in data.get("tenants", []))
     faults = tuple(build(FaultDecl, {**d, "at_us": tuple(d.get("at_us", ()))})
                    for d in data.get("faults", []))
     steering = tuple(
@@ -720,13 +825,13 @@ def from_dict(data: Dict[str, Any]) -> ScenarioSpec:
     fabric = build(FabricSpec, data.get("fabric", {}))
     execution = build(ExecSpec, data.get("execution", {}))
     top = {k: v for k, v in data.items()
-           if k not in ("racks", "apps", "fleets", "faults", "steering",
-                        "rebalance", "observability", "fabric",
+           if k not in ("racks", "apps", "fleets", "tenants", "faults",
+                        "steering", "rebalance", "observability", "fabric",
                         "execution")}
     return build(ScenarioSpec, {
         **top, "racks": tuple(racks), "fabric": fabric, "apps": apps,
-        "fleets": fleets, "faults": faults, "steering": steering,
-        "rebalance": rebalance, "observability": obs,
+        "fleets": fleets, "tenants": tenants, "faults": faults,
+        "steering": steering, "rebalance": rebalance, "observability": obs,
         "execution": execution})
 
 
